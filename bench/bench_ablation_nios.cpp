@@ -1,0 +1,74 @@
+// Ablation: the Nios II firmware as the bottleneck (DESIGN.md §5.5).
+//
+// (a) RX cost vs number of registered buffers — the BUF_LIST linear scan
+//     the paper calls out ("linearly scales with the number of registered
+//     buffers").
+// (b) What-if: hardware-accelerated RX (the paper's announced future work,
+//     "we are currently working on adding more hardware blocks to
+//     accelerate the RX task") — modeled by scaling the Nios RX task costs.
+#include "bench_common.hpp"
+
+namespace {
+
+double loopback_with_extra_buffers(int extra) {
+  using namespace apn;
+  sim::Simulator sim;
+  auto c = cluster::Cluster::make_cluster_i(sim, 1, core::ApenetParams{},
+                                            false);
+  static std::vector<std::unique_ptr<std::vector<std::uint8_t>>> keep;
+  [](cluster::Cluster* c, int n) -> sim::Coro {
+    for (int i = 0; i < n; ++i) {
+      keep.push_back(std::make_unique<std::vector<std::uint8_t>>(64));
+      co_await c->rdma(0).register_buffer(
+          reinterpret_cast<std::uint64_t>(keep.back()->data()), 64,
+          core::MemType::kHost);
+    }
+  }(c.get(), extra);
+  sim.run();
+  return cluster::loopback_bandwidth(*c, 0, core::MemType::kHost, 1 << 20,
+                                     24)
+      .mbps;
+}
+
+double loopback_with_rx_scale(double scale, bool gpu) {
+  using namespace apn;
+  sim::Simulator sim;
+  core::ApenetParams p;
+  p.nios.rx_buflist_base = static_cast<Time>(p.nios.rx_buflist_base * scale);
+  p.nios.rx_v2p = static_cast<Time>(p.nios.rx_v2p * scale);
+  p.nios.rx_dma_kick = static_cast<Time>(p.nios.rx_dma_kick * scale);
+  auto c = cluster::Cluster::make_cluster_i(sim, 1, p, false);
+  return cluster::loopback_bandwidth(
+             *c, 0, gpu ? core::MemType::kGpu : core::MemType::kHost,
+             1 << 20, 24)
+      .mbps;
+}
+
+}  // namespace
+
+int main() {
+  using namespace apn;
+  bench::print_header("ABLATION", "Nios II firmware bottleneck");
+
+  std::printf("\n(a) H-H loop-back bandwidth vs registered-buffer count\n");
+  TextTable a({"registered buffers", "loop-back MB/s"});
+  for (int n : {0, 32, 128, 512}) {
+    a.add_row({strf("%d", n), strf("%.0f", loopback_with_extra_buffers(n))});
+  }
+  a.print();
+
+  std::printf(
+      "\n(b) What-if: RX task hardware acceleration (paper future work)\n");
+  TextTable b({"RX firmware cost", "H-H loop-back MB/s", "G-G loop-back MB/s"});
+  for (double s : {1.0, 0.5, 0.25, 0.1}) {
+    b.add_row({strf("%.0f%% of Nios II", s * 100),
+               strf("%.0f", loopback_with_rx_scale(s, false)),
+               strf("%.0f", loopback_with_rx_scale(s, true))});
+  }
+  b.print();
+  std::printf(
+      "\nWith a 4x faster RX path the H-H loop-back approaches the host "
+      "memory read bandwidth, and G-G becomes GPU-read-bound (~1.5 GB/s) — "
+      "quantifying how much the micro-controller costs the current card.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Shared helpers for the paper-reproduction bench binaries.
+//
+// Every bench prints (a) the paper's expected numbers for the experiment it
+// regenerates and (b) the model's measured numbers, in a diff-friendly
+// table. Each measurement uses a fresh Simulator+Cluster so runs are
+// independent and bit-reproducible.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "cluster/harness.hpp"
+#include "common/table.hpp"
+
+namespace apn::bench {
+
+/// Message sizes of the paper's bandwidth figures (32 B - 4 MB).
+inline std::vector<std::uint64_t> sweep_32B_4MB() {
+  std::vector<std::uint64_t> v;
+  for (std::uint64_t s = 32; s <= (4ull << 20); s *= 2) v.push_back(s);
+  return v;
+}
+
+/// Message sizes of Figs. 4-5 (4 KB - 4 MB).
+inline std::vector<std::uint64_t> sweep_4K_4MB() {
+  std::vector<std::uint64_t> v;
+  for (std::uint64_t s = 4096; s <= (4ull << 20); s *= 2) v.push_back(s);
+  return v;
+}
+
+/// Latency-figure sizes (32 B - 4 KB / 64 KB).
+inline std::vector<std::uint64_t> sweep_32B(std::uint64_t max) {
+  std::vector<std::uint64_t> v;
+  for (std::uint64_t s = 32; s <= max; s *= 2) v.push_back(s);
+  return v;
+}
+
+/// Repetition count that keeps total traffic meaningful but bounded.
+inline int reps_for(std::uint64_t size, std::uint64_t target_bytes) {
+  std::uint64_t n = target_bytes / size;
+  if (n < 4) return 4;
+  if (n > 512) return 512;
+  return static_cast<int>(n);
+}
+
+inline void print_header(const char* id, const char* what) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id, what);
+  std::printf("================================================================\n");
+}
+
+/// Scale knob for the heavyweight app benches (BFS graph scale), settable
+/// via APN_BENCH_SCALE to trade fidelity for runtime.
+inline int bfs_scale() {
+  if (const char* s = std::getenv("APN_BENCH_SCALE")) return std::atoi(s);
+  return 20;  // the paper's |V| = 2^20
+}
+
+}  // namespace apn::bench

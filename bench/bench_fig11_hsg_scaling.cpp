@@ -1,0 +1,64 @@
+// Reproduces Fig. 11: HSG strong-scaling speedup on Cluster I (20 Gbps
+// torus links) for lattice sizes L in {128, 256, 512} and the three P2P
+// variants (OFF / RX-only / ON). Speedup is relative to the single-GPU run
+// of the same L; the L=512 single-GPU baseline suffers GPU cache pressure
+// (paper: 1471 vs 921 ps/spin), which produces the super-linear speedup.
+#include "apps/hsg/runner.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+double ttot(int L, int np, apn::apps::hsg::CommMode mode) {
+  using namespace apn;
+  // L=128 only fits meaningful slabs up to NP=2 per the paper; we still
+  // run all NP that divide L with local_z >= 2.
+  sim::Simulator sim;
+  core::ApenetParams p;
+  p.torus_link_gbps = 20.0;  // Fig. 11 ran with 20 Gbps links
+  p.p2p_tx_version = core::P2pTxVersion::kV2;
+  p.p2p_prefetch_window = 32 * 1024;
+  auto c = cluster::Cluster::make_cluster_i(sim, np, p, false);
+  apps::hsg::HsgConfig cfg;
+  cfg.L = L;
+  cfg.steps = 2;
+  cfg.mode = mode;
+  cfg.functional = false;
+  apps::hsg::HsgRun run(*c, cfg);
+  return run.run().ttot_ps;
+}
+
+}  // namespace
+
+int main() {
+  using namespace apn;
+  using apps::hsg::CommMode;
+  bench::print_header("FIG 11",
+                      "HSG strong-scaling speedup (20 Gbps links)");
+
+  const int sides[] = {128, 256, 512};
+  const CommMode modes[] = {CommMode::kP2pOff, CommMode::kP2pRx,
+                            CommMode::kP2pOn};
+  const char* mode_names[] = {"P2P=OFF", "P2P=RX", "P2P=ON"};
+
+  for (int L : sides) {
+    std::printf("\nSIDE=%d\n", L);
+    TextTable t({"NP", "P2P=OFF", "P2P=RX", "P2P=ON"});
+    double base[3] = {0, 0, 0};
+    for (int np : {1, 2, 4, 8}) {
+      std::vector<std::string> row = {strf("%d", np)};
+      for (int m = 0; m < 3; ++m) {
+        double v = ttot(L, np, modes[m]);
+        if (np == 1) base[m] = v;
+        row.push_back(strf("%5.2fx", base[m] / v));
+      }
+      t.add_row(std::move(row));
+    }
+    t.print();
+    (void)mode_names;
+  }
+  std::printf(
+      "\nPaper's shape: L=128 only scales to ~2 nodes; L=256 to 4; L=512 "
+      "scales to 8 with super-linear speedup (single-GPU cache pressure at "
+      "512^3); P2P variants beat staging by 10-20%%.\n");
+  return 0;
+}

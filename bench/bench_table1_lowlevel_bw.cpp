@@ -1,0 +1,81 @@
+// Reproduces Table I: APEnet+ low-level bandwidths from single-board
+// loop-back tests. Memory-read rows flush packets at the internal switch;
+// loop-back rows include the full RX processing on the Nios II.
+#include "bench_common.hpp"
+
+namespace apn {
+namespace {
+
+using bench::print_header;
+using cluster::Cluster;
+using core::ApenetParams;
+using core::MemType;
+
+double read_bw(const gpu::GpuArch* arch, MemType type, bool flush) {
+  sim::Simulator sim;
+  ApenetParams p;
+  p.flush_at_switch = flush;
+  std::unique_ptr<Cluster> c;
+  if (arch != nullptr) {
+    cluster::NodeConfig cfg;
+    cfg.gpus = {*arch};
+    cfg.has_apenet = true;
+    cfg.has_ib = false;
+    c = std::make_unique<Cluster>(sim, core::TorusShape{1, 1, 1}, cfg, p);
+  } else {
+    c = Cluster::make_cluster_i(sim, 1, p, false);
+  }
+  return cluster::loopback_bandwidth(*c, 0, type, 1 << 20, 32).mbps;
+}
+
+/// BAR1 read bandwidth: GPU-source PUTs with the MemType::kGpuBar1 flag —
+/// the card's DMA-read engine fetches the buffer through the BAR1 aperture
+/// with plain PCIe memory reads (no P2P protocol).
+double bar1_read_bw(const gpu::GpuArch& arch) {
+  sim::Simulator sim;
+  cluster::NodeConfig cfg;
+  cfg.gpus = {arch};
+  cfg.has_apenet = true;
+  cfg.has_ib = false;
+  ApenetParams p;
+  p.flush_at_switch = true;
+  Cluster c(sim, core::TorusShape{1, 1, 1}, cfg, p);
+  int count = arch.bar1_read_rate < 1e9 ? 4 : 16;  // Fermi BAR1 is slow
+  return cluster::loopback_bandwidth(c, 0, MemType::kGpuBar1, 1 << 20,
+                                     count)
+      .mbps;
+}
+
+}  // namespace
+}  // namespace apn
+
+int main() {
+  using namespace apn;
+  bench::print_header("TABLE I", "APEnet+ low-level loop-back bandwidths");
+
+  gpu::GpuArch fermi = gpu::fermi_c2050();
+  gpu::GpuArch kepler = gpu::kepler_k20();
+
+  TextTable t({"Test", "GPU/method", "Paper", "Model", "Nios II tasks"});
+  t.add_row({"Host mem read", "-", "2.4 GB/s",
+             strf("%.2f GB/s", read_bw(nullptr, core::MemType::kHost, true) / 1000),
+             "none"});
+  t.add_row({"GPU mem read", "Fermi/P2P", "1.5 GB/s",
+             strf("%.2f GB/s", read_bw(&fermi, core::MemType::kGpu, true) / 1000),
+             "GPU_P2P_TX"});
+  t.add_row({"GPU mem read", "Fermi/BAR1", "150 MB/s",
+             strf("%.0f MB/s", bar1_read_bw(fermi)), "TX DMA (BAR1)"});
+  t.add_row({"GPU mem read", "Kepler/P2P", "1.6 GB/s",
+             strf("%.2f GB/s", read_bw(&kepler, core::MemType::kGpu, true) / 1000),
+             "GPU_P2P_TX"});
+  t.add_row({"GPU mem read", "Kepler/BAR1", "1.6 GB/s",
+             strf("%.2f GB/s", bar1_read_bw(kepler) / 1000), "TX DMA (BAR1)"});
+  t.add_row({"GPU-to-GPU loop-back", "Fermi/P2P", "1.1 GB/s",
+             strf("%.2f GB/s", read_bw(&fermi, core::MemType::kGpu, false) / 1000),
+             "GPU_P2P_TX + RX"});
+  t.add_row({"Host-to-Host loop-back", "-", "1.2 GB/s",
+             strf("%.2f GB/s", read_bw(nullptr, core::MemType::kHost, false) / 1000),
+             "RX"});
+  t.print();
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Reproduces Table III: HSG two-node break-down, L = 256, for the three
+// P2P usage combinations on APEnet+ plus OpenMPI-over-IB references
+// (Cluster II x8 slot and Cluster I x4 slot). Picoseconds per spin update.
+#include "apps/hsg/runner.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+apn::apps::hsg::HsgMetrics run_mode(apn::apps::hsg::CommMode mode,
+                                    bool ib_x4_slot) {
+  using namespace apn;
+  using apps::hsg::CommMode;
+  sim::Simulator sim;
+  std::unique_ptr<cluster::Cluster> c;
+  if (mode == CommMode::kIb) {
+    // OpenMPI-era CUDA support staged through host memory with synchronous
+    // copies; disable the MVAPICH-style pipeline for this baseline.
+    mpi::MpiParams mp = mpi::openmpi2012_params();
+    cluster::NodeConfig cfg;
+    cfg.has_apenet = false;
+    cfg.has_ib = true;
+    if (ib_x4_slot) {
+      // Cluster I: ConnectX-2 in the constrained x4 slot.
+      cfg.gpus = {gpu::fermi_c2050()};
+      cfg.ib_slot = pcie::gen2_x4();
+    } else {
+      cfg.gpus = {gpu::fermi_c2075(), gpu::fermi_c2075()};
+      cfg.ib_slot = pcie::gen2_x8();
+    }
+    c = std::make_unique<cluster::Cluster>(sim, core::TorusShape{2, 1, 1},
+                                           cfg, core::ApenetParams{},
+                                           ib::HcaParams{}, mp);
+  } else {
+    core::ApenetParams p;
+    p.p2p_tx_version = core::P2pTxVersion::kV2;
+    p.p2p_prefetch_window = 32 * 1024;
+    c = cluster::Cluster::make_cluster_i(sim, 2, p, false);
+  }
+  apps::hsg::HsgConfig cfg;
+  cfg.L = 256;
+  cfg.steps = 2;
+  cfg.mode = mode;
+  cfg.functional = false;
+  apps::hsg::HsgRun run(*c, cfg);
+  return run.run();
+}
+
+}  // namespace
+
+int main() {
+  using namespace apn;
+  using apps::hsg::CommMode;
+  bench::print_header(
+      "TABLE III", "HSG two-node break-down, L=256 (ps per spin update)");
+
+  struct Col {
+    const char* label;
+    CommMode mode;
+    bool x4;
+    const char* paper_ttot;
+    const char* paper_tbnd_net;
+    const char* paper_tnet;
+  };
+  const Col cols[] = {
+      {"P2P=ON", CommMode::kP2pOn, false, "416", "108", "97"},
+      {"P2P=RX", CommMode::kP2pRx, false, "416", "97", "91"},
+      {"P2P=OFF", CommMode::kP2pOff, false, "416", "122", "114"},
+      {"OMPI/IB x8 (Cl.II)", CommMode::kIb, false, "416", "108", "101"},
+      {"OMPI/IB x4 (Cl.I)", CommMode::kIb, true, "416", "108", "101"},
+  };
+
+  TextTable t({"Variant", "Ttot (paper)", "Ttot", "Tbnd+Tnet (paper)",
+               "Tbnd+Tnet", "Tnet (paper)", "Tnet"});
+  for (const Col& col : cols) {
+    auto m = run_mode(col.mode, col.x4);
+    t.add_row({col.label, col.paper_ttot, strf("%.0f", m.ttot_ps),
+               col.paper_tbnd_net, strf("%.0f", m.tbnd_net_ps),
+               col.paper_tnet, strf("%.0f", m.tnet_ps)});
+  }
+  t.print();
+  std::printf(
+      "\nPaper: the bulk fully hides boundary+communication at L=256/NP=2 "
+      "(Ttot unchanged across variants); P2P=RX and P2P=ON give ~20%% and "
+      "~14%% lower Tnet than staging.\n");
+  return 0;
+}

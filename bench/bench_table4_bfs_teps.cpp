@@ -1,0 +1,64 @@
+// Reproduces Table IV: distributed BFS strong scaling — traversed edges
+// per second (TEPS) for |V| = 2^20, APEnet+ (P2P=ON) vs InfiniBand/MPI.
+// Set APN_BENCH_SCALE to shrink the graph for quick runs.
+#include "apps/bfs/bfs.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+apn::apps::bfs::BfsMetrics run_bfs(int np, apn::apps::bfs::BfsNet net,
+                                   int scale) {
+  using namespace apn;
+  sim::Simulator sim;
+  // The paper's IB reference for the applications is OpenMPI-era staging.
+  std::unique_ptr<cluster::Cluster> c =
+      net == apps::bfs::BfsNet::kIb
+          ? cluster::Cluster::make_cluster_ii(sim, np, true,
+                                              mpi::openmpi2012_params())
+          : cluster::Cluster::make_cluster_i(sim, np, core::ApenetParams{},
+                                             false);
+  apps::bfs::BfsConfig cfg;
+  cfg.scale = scale;
+  cfg.edge_factor = 16;
+  cfg.net = net;
+  apps::bfs::BfsRun run(*c, cfg);
+  return run.run();
+}
+
+}  // namespace
+
+int main() {
+  using namespace apn;
+  using apps::bfs::BfsNet;
+  const int scale = bench::bfs_scale();
+  bench::print_header(
+      "TABLE IV",
+      strf("BFS strong scaling, TEPS, |V| = 2^%d, edgefactor 16", scale)
+          .c_str());
+
+  struct PaperRow {
+    int np;
+    const char* apenet;
+    const char* ib;
+  };
+  const PaperRow paper[] = {{1, "6.7e7", "6.2e7"},
+                            {2, "9.8e7", "7.8e7"},
+                            {4, "1.3e8", "8.2e7"},
+                            {8, "1.7e8", "2.0e8"}};
+
+  TextTable t({"NP", "APEnet+ (paper)", "APEnet+ (model)", "OMPI/IB (paper)",
+               "OMPI/IB (model)", "validated"});
+  for (const PaperRow& row : paper) {
+    auto apn_m = run_bfs(row.np, BfsNet::kApenet, scale);
+    auto ib_m = run_bfs(row.np, BfsNet::kIb, scale);
+    t.add_row({strf("%d", row.np), row.apenet, strf("%.2g", apn_m.teps),
+               row.ib, strf("%.2g", ib_m.teps),
+               apn_m.validated && ib_m.validated ? "yes" : "NO"});
+  }
+  t.print();
+  std::printf(
+      "\nPaper's shape: APEnet+ leads up to 4 nodes thanks to lower "
+      "small-message latency; at 8 nodes the torus suffers on the all-to-all "
+      "pattern and IB overtakes.\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Distributed BFS on a cluster of simulated GPUs (the paper's §V-E
+// application): generates a graph500-style RMAT graph, traverses it with
+// the level-synchronous multi-GPU algorithm over both interconnects, and
+// validates the parent trees.
+//
+//   $ ./examples/bfs_cluster [scale]
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/bfs/bfs.hpp"
+
+using namespace apn;
+using apps::bfs::BfsNet;
+
+int main(int argc, char** argv) {
+  const int scale = argc > 1 ? std::atoi(argv[1]) : 14;
+  std::printf("RMAT scale %d (|V| = %d, ~%d edges), 4 GPUs\n", scale,
+              1 << scale, 16 << scale);
+  std::printf("%-12s %10s %8s %10s %12s %10s\n", "network", "TEPS", "levels",
+              "comm (ms)", "compute (ms)", "valid");
+
+  for (BfsNet net : {BfsNet::kApenet, BfsNet::kIb}) {
+    sim::Simulator sim;
+    std::unique_ptr<cluster::Cluster> cluster =
+        net == BfsNet::kIb
+            ? cluster::Cluster::make_cluster_ii(sim, 4)
+            : cluster::Cluster::make_cluster_i(sim, 4, core::ApenetParams{},
+                                               false);
+    apps::bfs::BfsConfig cfg;
+    cfg.scale = scale;
+    cfg.edge_factor = 16;
+    cfg.net = net;
+    apps::bfs::BfsRun run(*cluster, cfg);
+    apps::bfs::BfsMetrics m = run.run();
+    std::printf("%-12s %10.3g %8d %10.3f %12.3f %10s\n",
+                net == BfsNet::kApenet ? "APEnet+" : "InfiniBand", m.teps,
+                m.levels, units::to_ms(m.comm_time),
+                units::to_ms(m.compute_time),
+                m.validated ? "yes" : "NO");
+  }
+  std::printf(
+      "\nThe irregular all-to-all frontier exchange favors APEnet+'s lower\n"
+      "small-message GPU-to-GPU latency at modest node counts — the\n"
+      "paper's Table IV / Fig. 12 result.\n");
+  return 0;
+}

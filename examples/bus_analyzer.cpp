@@ -1,0 +1,73 @@
+// Watching the GPUDirect peer-to-peer protocol on the (simulated) PCIe bus
+// — the methodology behind the paper's Fig. 3. Attaches interposers to the
+// APEnet+ and GPU slots, transmits one GPU buffer, and prints the raw
+// transaction trace.
+//
+//   $ ./examples/bus_analyzer
+#include <cstdio>
+
+#include "cluster/cluster.hpp"
+
+using namespace apn;
+
+int main() {
+  sim::Simulator sim;
+  core::ApenetParams params;
+  params.flush_at_switch = true;
+  params.p2p_tx_version = core::P2pTxVersion::kV2;
+  params.p2p_prefetch_window = 32 * 1024;
+  auto cluster = cluster::Cluster::make_cluster_i(sim, 1, params, false);
+  cluster::Node& node = cluster->node(0);
+
+  pcie::BusAnalyzer card_slot, gpu_slot;
+  node.fabric().attach_analyzer(node.card_pcie_node(), card_slot);
+  node.fabric().attach_analyzer(node.gpu_pcie_node(0), gpu_slot);
+
+  const std::uint64_t kMsg = 64 * 1024;
+  [](cluster::Cluster* c, std::uint64_t n) -> sim::Coro {
+    core::RdmaDevice& rdma = c->rdma(0);
+    cuda::DevPtr src = c->node(0).cuda().malloc_device(0, n);
+    co_await rdma.register_buffer(src, n, core::MemType::kGpu);
+    auto put = rdma.put(c->coord(0), src, n, 0x8000, core::MemType::kGpu,
+                        false);
+    co_await put.tx_done->wait();
+  }(cluster.get(), kMsg);
+  sim.run();
+
+  std::printf("GPU-slot trace (first 10 transactions):\n");
+  std::printf("%12s %-6s %6s %5s\n", "time (us)", "kind", "bytes", "dir");
+  int shown = 0;
+  for (const auto& ev : gpu_slot.events()) {
+    if (shown++ >= 10) break;
+    std::printf("%12.3f %-6s %6u %5s\n", units::to_us(ev.time),
+                ev.kind == pcie::BusEvent::Kind::kWrite ? "MWr" : "other",
+                ev.bytes, ev.downstream ? "down" : "up");
+  }
+  std::printf("  ... (%zu transactions total: 32 B read-request descriptors "
+              "into the P2P mailbox)\n",
+              gpu_slot.events().size());
+
+  std::printf("\nAPEnet+-slot trace (first 10 transactions):\n");
+  std::printf("%12s %-6s %6s %5s\n", "time (us)", "kind", "bytes", "dir");
+  shown = 0;
+  std::uint64_t data = 0;
+  Time first = -1, last = 0;
+  for (const auto& ev : card_slot.events()) {
+    if (ev.downstream) {
+      if (first < 0) first = ev.time;
+      last = ev.time;
+      data += ev.bytes;
+    }
+    if (shown++ < 10)
+      std::printf("%12.3f %-6s %6u %5s\n", units::to_us(ev.time),
+                  ev.kind == pcie::BusEvent::Kind::kWrite ? "MWr" : "other",
+                  ev.bytes, ev.downstream ? "down" : "up");
+  }
+  std::printf("  ... (%zu transactions total)\n", card_slot.events().size());
+  std::printf(
+      "\n%llu bytes of GPU data streamed into the card's landing zone in "
+      "%.1f us -> %.0f MB/s P2P read bandwidth (Fermi ceiling ~1.5 GB/s).\n",
+      static_cast<unsigned long long>(data), units::to_us(last - first),
+      units::bandwidth_MBps(data, last - first));
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Heisenberg-spin-glass halo exchange: the paper's lattice application
+// (§V-D) at a small, fully functional scale. Runs the same physics on four
+// nodes in the three communication modes and shows that (a) the energy is
+// exactly conserved by over-relaxation through the full network stack, and
+// (b) how the modes rank on communication time.
+//
+//   $ ./examples/halo_exchange
+#include <cstdio>
+
+#include "apps/hsg/runner.hpp"
+
+using namespace apn;
+using apps::hsg::CommMode;
+
+int main() {
+  std::printf("HSG over-relaxation, L=16, NP=4, 3 steps, functional halos\n");
+  std::printf("%-10s %12s %12s %16s %14s\n", "mode", "Ttot ps/spin",
+              "Tnet ps/spin", "energy drift", "wall (ms)");
+
+  for (CommMode mode :
+       {CommMode::kP2pOn, CommMode::kP2pRx, CommMode::kP2pOff}) {
+    sim::Simulator sim;
+    auto cluster = cluster::Cluster::make_cluster_i(
+        sim, 4, core::ApenetParams{}, /*with_ib=*/false);
+    apps::hsg::HsgConfig cfg;
+    cfg.L = 16;
+    cfg.steps = 3;
+    cfg.mode = mode;
+    cfg.functional = true;  // real spins, real halo bytes on the wire
+    apps::hsg::HsgRun run(*cluster, cfg);
+    apps::hsg::HsgMetrics m = run.run();
+    std::printf("%-10s %12.0f %12.0f %16.3g %14.3f\n",
+                apps::hsg::comm_mode_name(mode), m.ttot_ps, m.tnet_ps,
+                (m.energy_final - m.energy_initial) /
+                    std::abs(m.energy_initial),
+                units::to_ms(m.wall));
+  }
+  std::printf(
+      "\nOver-relaxation reflects each spin about its local field, so the\n"
+      "energy drift must be at floating-point level no matter which\n"
+      "network path carried the halos.\n");
+  return 0;
+}

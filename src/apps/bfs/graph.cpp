@@ -1,0 +1,161 @@
+#include "apps/bfs/graph.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+#include <string>
+
+namespace apn::apps::bfs {
+
+EdgeList rmat(int scale, int edge_factor, std::uint64_t seed) {
+  const std::uint64_t n = 1ull << scale;
+  const std::uint64_t m = n * static_cast<std::uint64_t>(edge_factor);
+  Rng rng(seed);
+
+  // Vertex permutation to de-correlate degree and label.
+  std::vector<Vertex> perm(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  for (std::uint64_t i = n - 1; i > 0; --i) {
+    std::uint64_t j = rng.next_below(i + 1);
+    std::swap(perm[i], perm[j]);
+  }
+
+  constexpr double kA = 0.57, kB = 0.19, kC = 0.19;
+  EdgeList el;
+  el.n_vertices = n;
+  el.edges.reserve(m);
+  for (std::uint64_t e = 0; e < m; ++e) {
+    std::uint64_t u = 0, v = 0;
+    for (int bit = 0; bit < scale; ++bit) {
+      double r = rng.next_double();
+      u <<= 1;
+      v <<= 1;
+      if (r < kA) {
+        // top-left: nothing set
+      } else if (r < kA + kB) {
+        v |= 1;
+      } else if (r < kA + kB + kC) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    el.edges.emplace_back(perm[u], perm[v]);
+  }
+  return el;
+}
+
+Csr::Csr(const EdgeList& el) : n_(el.n_vertices) {
+  row_.assign(n_ + 1, 0);
+  for (auto [u, v] : el.edges) {
+    if (u == v) continue;
+    ++row_[u + 1];
+    ++row_[v + 1];
+    ++input_edges_;
+  }
+  for (std::uint64_t i = 0; i < n_; ++i) row_[i + 1] += row_[i];
+  cols_.resize(row_[n_]);
+  std::vector<std::uint64_t> fill(row_.begin(), row_.end() - 1);
+  for (auto [u, v] : el.edges) {
+    if (u == v) continue;
+    cols_[fill[u]++] = v;
+    cols_[fill[v]++] = u;
+  }
+}
+
+std::vector<std::int64_t> bfs_levels(const Csr& g, Vertex root) {
+  std::vector<std::int64_t> level(g.num_vertices(), kUnreached);
+  std::deque<Vertex> q;
+  level[root] = 0;
+  q.push_back(root);
+  while (!q.empty()) {
+    Vertex v = q.front();
+    q.pop_front();
+    for (Vertex w : g.neighbors(v)) {
+      if (level[w] == kUnreached) {
+        level[w] = level[v] + 1;
+        q.push_back(w);
+      }
+    }
+  }
+  return level;
+}
+
+bool validate_parents(const Csr& g, Vertex root,
+                      std::span<const std::int64_t> parents,
+                      std::string* error) {
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+  const std::uint64_t n = g.num_vertices();
+  if (parents.size() != n) return fail("parent array size mismatch");
+  if (parents[root] != static_cast<std::int64_t>(root))
+    return fail("root is not its own parent");
+
+  // Derive levels by chasing parents with a path-length bound.
+  std::vector<std::int64_t> level(n, kUnreached);
+  level[root] = 0;
+  for (std::uint64_t v = 0; v < n; ++v) {
+    if (parents[v] == kUnreached || level[v] != kUnreached) continue;
+    // Walk up to the root or a vertex with a known level.
+    std::vector<Vertex> chain;
+    Vertex cur = static_cast<Vertex>(v);
+    while (level[cur] == kUnreached) {
+      chain.push_back(cur);
+      std::int64_t p = parents[cur];
+      if (p == kUnreached) return fail("reached vertex with unreached parent");
+      if (chain.size() > n) return fail("parent cycle detected");
+      cur = static_cast<Vertex>(p);
+    }
+    std::int64_t base = level[cur];
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it)
+      level[*it] = ++base;
+  }
+
+  // Every tree edge must exist, and BFS levels differ by exactly 1.
+  for (std::uint64_t v = 0; v < n; ++v) {
+    if (parents[v] == kUnreached || v == root) continue;
+    Vertex p = static_cast<Vertex>(parents[v]);
+    bool found = false;
+    for (Vertex w : g.neighbors(p)) {
+      if (w == v) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return fail("parent edge not present in graph");
+    if (level[v] != level[p] + 1) return fail("level inconsistency");
+  }
+
+  // Reachability must match the reference BFS exactly.
+  std::vector<std::int64_t> ref = bfs_levels(g, root);
+  for (std::uint64_t v = 0; v < n; ++v) {
+    if ((ref[v] == kUnreached) != (parents[v] == kUnreached))
+      return fail("reachability mismatch");
+    if (ref[v] != kUnreached && level[v] != ref[v])
+      return fail("level differs from reference BFS");
+  }
+  return true;
+}
+
+std::uint64_t traversed_edges(const Csr& g,
+                              std::span<const std::int64_t> levels) {
+  std::uint64_t e2 = 0;  // directed count within the component
+  for (std::uint64_t v = 0; v < g.num_vertices(); ++v) {
+    if (levels[v] == kUnreached) continue;
+    e2 += g.degree(static_cast<Vertex>(v));
+  }
+  return e2 / 2;
+}
+
+Vertex pick_root(const Csr& g, std::uint64_t seed) {
+  Rng rng(seed);
+  for (;;) {
+    Vertex v = static_cast<Vertex>(rng.next_below(g.num_vertices()));
+    if (g.degree(v) > 0) return v;
+  }
+}
+
+}  // namespace apn::apps::bfs

@@ -1,0 +1,74 @@
+// Graph500-style graph machinery for the distributed BFS application
+// (paper §V-E): RMAT generator, CSR representation, a sequential reference
+// BFS and a graph500-like parent-tree validator.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace apn::apps::bfs {
+
+using Vertex = std::uint32_t;
+constexpr std::int64_t kUnreached = -1;
+
+struct EdgeList {
+  std::uint64_t n_vertices = 0;
+  std::vector<std::pair<Vertex, Vertex>> edges;
+};
+
+/// Kronecker/RMAT generator with the graph500 parameters
+/// (A,B,C,D) = (0.57, 0.19, 0.19, 0.05); 2^scale vertices,
+/// edge_factor * 2^scale edges, with vertex-label shuffling.
+EdgeList rmat(int scale, int edge_factor, std::uint64_t seed);
+
+/// Compressed sparse rows over the *undirected* version of an edge list
+/// (each input edge contributes both directions; self-loops dropped,
+/// multi-edges kept, as graph500 allows).
+class Csr {
+ public:
+  explicit Csr(const EdgeList& el);
+
+  std::uint64_t num_vertices() const { return n_; }
+  std::uint64_t num_directed_edges() const { return cols_.size(); }
+  /// Undirected edge count as graph500 counts it for TEPS (input edges
+  /// minus self loops).
+  std::uint64_t num_input_edges() const { return input_edges_; }
+
+  std::uint32_t degree(Vertex v) const {
+    return static_cast<std::uint32_t>(row_[v + 1] - row_[v]);
+  }
+  std::span<const Vertex> neighbors(Vertex v) const {
+    return {cols_.data() + row_[v], cols_.data() + row_[v + 1]};
+  }
+
+ private:
+  std::uint64_t n_ = 0;
+  std::uint64_t input_edges_ = 0;
+  std::vector<std::uint64_t> row_;
+  std::vector<Vertex> cols_;
+};
+
+/// Sequential level-synchronous BFS: levels[v] = depth or kUnreached.
+std::vector<std::int64_t> bfs_levels(const Csr& g, Vertex root);
+
+/// graph500-style validation of a parent tree against the graph:
+/// root is its own parent; every reached vertex's parent edge exists and
+/// levels are consistent (level[v] == level[parent[v]] + 1).
+bool validate_parents(const Csr& g, Vertex root,
+                      std::span<const std::int64_t> parents,
+                      std::string* error = nullptr);
+
+/// Edges within the traversed component (counted once per undirected
+/// edge), the TEPS numerator.
+std::uint64_t traversed_edges(const Csr& g,
+                              std::span<const std::int64_t> levels);
+
+/// A root with nonzero degree (graph500 picks search keys this way).
+Vertex pick_root(const Csr& g, std::uint64_t seed);
+
+}  // namespace apn::apps::bfs

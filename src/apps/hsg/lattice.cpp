@@ -1,0 +1,225 @@
+#include "apps/hsg/lattice.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace apn::apps::hsg {
+
+namespace {
+
+/// Reflect s about h: s' = 2 (s.h) h / (h.h) - s. h == 0 leaves s fixed.
+inline Spin over_relax(const Spin& s, double hx, double hy, double hz) {
+  double hh = hx * hx + hy * hy + hz * hz;
+  if (hh == 0.0) return s;
+  double sh = s.x * hx + s.y * hy + s.z * hz;
+  double f = 2.0 * sh / hh;
+  return Spin{static_cast<float>(f * hx - s.x),
+              static_cast<float>(f * hy - s.y),
+              static_cast<float>(f * hz - s.z)};
+}
+
+}  // namespace
+
+Spin deterministic_spin(std::uint64_t seed, int z, int y, int x) {
+  std::uint64_t key = seed;
+  key = key * 0x9E3779B97F4A7C15ull + static_cast<std::uint64_t>(z) + 1;
+  key = key * 0x9E3779B97F4A7C15ull + static_cast<std::uint64_t>(y) + 1;
+  key = key * 0x9E3779B97F4A7C15ull + static_cast<std::uint64_t>(x) + 1;
+  SplitMix64 sm(key);
+  // Marsaglia: uniform point on the sphere.
+  double u = 2.0 * (static_cast<double>(sm.next() >> 11) * 0x1.0p-53) - 1.0;
+  double phi =
+      2.0 * 3.14159265358979323846 *
+      (static_cast<double>(sm.next() >> 11) * 0x1.0p-53);
+  double r = std::sqrt(std::max(0.0, 1.0 - u * u));
+  return Spin{static_cast<float>(r * std::cos(phi)),
+              static_cast<float>(r * std::sin(phi)), static_cast<float>(u)};
+}
+
+// ---------------------------------------------------------------------------
+// Slab
+// ---------------------------------------------------------------------------
+
+Slab::Slab(int L, int local_z, int z_offset)
+    : L_(L), local_z_(local_z), z_offset_(z_offset) {
+  if (L < 2 || local_z < 1) throw std::invalid_argument("bad slab shape");
+  spins_.resize(static_cast<std::size_t>(local_z + 2) *
+                static_cast<std::size_t>(L) * static_cast<std::size_t>(L));
+}
+
+void Slab::randomize(std::uint64_t seed) {
+  // Interior planes from global coordinates; halos are filled by the first
+  // exchange (or locally for single-rank runs).
+  for (int z = 1; z <= local_z_; ++z)
+    for (int y = 0; y < L_; ++y)
+      for (int x = 0; x < L_; ++x)
+        at(z, y, x) = deterministic_spin(
+            seed, (global_z(z) % L_ + L_) % L_, y, x);
+}
+
+void Slab::update_plane(int z, int parity) {
+  for (int y = 0; y < L_; ++y) {
+    int yp = y + 1 == L_ ? 0 : y + 1;
+    int ym = y == 0 ? L_ - 1 : y - 1;
+    for (int x = 0; x < L_; ++x) {
+      if (site_parity(z, y, x) != parity) continue;
+      int xp = x + 1 == L_ ? 0 : x + 1;
+      int xm = x == 0 ? L_ - 1 : x - 1;
+      const Spin& a = at(z, y, xp);
+      const Spin& b = at(z, y, xm);
+      const Spin& c = at(z, yp, x);
+      const Spin& d = at(z, ym, x);
+      const Spin& e = at(z + 1, y, x);
+      const Spin& f = at(z - 1, y, x);
+      double hx = static_cast<double>(a.x) + b.x + c.x + d.x + e.x + f.x;
+      double hy = static_cast<double>(a.y) + b.y + c.y + d.y + e.y + f.y;
+      double hz = static_cast<double>(a.z) + b.z + c.z + d.z + e.z + f.z;
+      at(z, y, x) = over_relax(at(z, y, x), hx, hy, hz);
+    }
+  }
+}
+
+void Slab::update_interior(int parity) {
+  for (int z = 1; z <= local_z_; ++z) update_plane(z, parity);
+}
+
+void Slab::update_boundary(int parity) {
+  update_plane(1, parity);
+  if (local_z_ > 1) update_plane(local_z_, parity);
+}
+
+void Slab::update_bulk(int parity) {
+  for (int z = 2; z < local_z_; ++z) update_plane(z, parity);
+}
+
+double Slab::owned_energy() const {
+  double e = 0.0;
+  for (int z = 1; z <= local_z_; ++z) {
+    for (int y = 0; y < L_; ++y) {
+      int yp = y + 1 == L_ ? 0 : y + 1;
+      for (int x = 0; x < L_; ++x) {
+        int xp = x + 1 == L_ ? 0 : x + 1;
+        const Spin& s = at(z, y, x);
+        const Spin& sx = at(z, y, xp);
+        const Spin& sy = at(z, yp, x);
+        const Spin& sz = at(z + 1, y, x);  // halo for z == local_z
+        e -= static_cast<double>(s.x) * sx.x + static_cast<double>(s.y) * sx.y +
+             static_cast<double>(s.z) * sx.z;
+        e -= static_cast<double>(s.x) * sy.x + static_cast<double>(s.y) * sy.y +
+             static_cast<double>(s.z) * sy.z;
+        e -= static_cast<double>(s.x) * sz.x + static_cast<double>(s.y) * sz.y +
+             static_cast<double>(s.z) * sz.z;
+      }
+    }
+  }
+  return e;
+}
+
+void Slab::pack_parity_plane(int z, int parity,
+                             std::vector<std::uint8_t>& out) const {
+  out.clear();
+  out.reserve(parity_plane_bytes());
+  for (int y = 0; y < L_; ++y)
+    for (int x = 0; x < L_; ++x) {
+      if (site_parity(z, y, x) != parity) continue;
+      const Spin& s = at(z, y, x);
+      const auto* p = reinterpret_cast<const std::uint8_t*>(&s);
+      out.insert(out.end(), p, p + sizeof(Spin));
+    }
+}
+
+void Slab::unpack_parity_plane(int z, int parity,
+                               std::span<const std::uint8_t> in) {
+  std::size_t pos = 0;
+  for (int y = 0; y < L_; ++y)
+    for (int x = 0; x < L_; ++x) {
+      if (site_parity(z, y, x) != parity) continue;
+      if (pos + sizeof(Spin) > in.size())
+        throw std::runtime_error("halo payload too short");
+      Spin s;
+      std::memcpy(&s, in.data() + pos, sizeof(Spin));
+      at(z, y, x) = s;
+      pos += sizeof(Spin);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ReferenceLattice
+// ---------------------------------------------------------------------------
+
+ReferenceLattice::ReferenceLattice(int L) : L_(L) {
+  spins_.resize(static_cast<std::size_t>(L) * L * L);
+}
+
+void ReferenceLattice::randomize(std::uint64_t seed) {
+  for (int z = 0; z < L_; ++z)
+    for (int y = 0; y < L_; ++y)
+      for (int x = 0; x < L_; ++x)
+        spins_[static_cast<std::size_t>((z * L_ + y) * L_ + x)] =
+            deterministic_spin(seed, z, y, x);
+}
+
+void ReferenceLattice::update_parity(int parity) {
+  auto idx = [this](int z, int y, int x) {
+    return static_cast<std::size_t>((z * L_ + y) * L_ + x);
+  };
+  for (int z = 0; z < L_; ++z) {
+    int zp = z + 1 == L_ ? 0 : z + 1;
+    int zm = z == 0 ? L_ - 1 : z - 1;
+    for (int y = 0; y < L_; ++y) {
+      int yp = y + 1 == L_ ? 0 : y + 1;
+      int ym = y == 0 ? L_ - 1 : y - 1;
+      for (int x = 0; x < L_; ++x) {
+        if ((x + y + z) % 2 != parity) continue;
+        int xp = x + 1 == L_ ? 0 : x + 1;
+        int xm = x == 0 ? L_ - 1 : x - 1;
+        const Spin& a = spins_[idx(z, y, xp)];
+        const Spin& b = spins_[idx(z, y, xm)];
+        const Spin& c = spins_[idx(z, yp, x)];
+        const Spin& d = spins_[idx(z, ym, x)];
+        const Spin& e = spins_[idx(zp, y, x)];
+        const Spin& f = spins_[idx(zm, y, x)];
+        double hx = static_cast<double>(a.x) + b.x + c.x + d.x + e.x + f.x;
+        double hy = static_cast<double>(a.y) + b.y + c.y + d.y + e.y + f.y;
+        double hz = static_cast<double>(a.z) + b.z + c.z + d.z + e.z + f.z;
+        Spin& s = spins_[idx(z, y, x)];
+        s = over_relax(s, hx, hy, hz);
+      }
+    }
+  }
+}
+
+void ReferenceLattice::sweep() {
+  update_parity(0);
+  update_parity(1);
+}
+
+double ReferenceLattice::energy() const {
+  auto idx = [this](int z, int y, int x) {
+    return static_cast<std::size_t>((z * L_ + y) * L_ + x);
+  };
+  double e = 0.0;
+  for (int z = 0; z < L_; ++z) {
+    int zp = z + 1 == L_ ? 0 : z + 1;
+    for (int y = 0; y < L_; ++y) {
+      int yp = y + 1 == L_ ? 0 : y + 1;
+      for (int x = 0; x < L_; ++x) {
+        int xp = x + 1 == L_ ? 0 : x + 1;
+        const Spin& s = spins_[idx(z, y, x)];
+        const Spin& sx = spins_[idx(z, y, xp)];
+        const Spin& sy = spins_[idx(z, yp, x)];
+        const Spin& sz = spins_[idx(zp, y, x)];
+        e -= static_cast<double>(s.x) * sx.x + static_cast<double>(s.y) * sx.y +
+             static_cast<double>(s.z) * sx.z;
+        e -= static_cast<double>(s.x) * sy.x + static_cast<double>(s.y) * sy.y +
+             static_cast<double>(s.z) * sy.z;
+        e -= static_cast<double>(s.x) * sz.x + static_cast<double>(s.y) * sz.y +
+             static_cast<double>(s.z) * sz.z;
+      }
+    }
+  }
+  return e;
+}
+
+}  // namespace apn::apps::hsg

@@ -1,0 +1,123 @@
+// Heisenberg spin glass over-relaxation (the paper's §V-D application).
+//
+// Spins are classical 3-vectors on an L^3 periodic lattice. One
+// over-relaxation step reflects each spin about the local field
+// h = sum of its 6 neighbors:  s' = 2 (s.h) h / (h.h) - s.
+// The update is applied checkerboard-style (even sites, then odd sites),
+// so every site's field is fixed while it updates. Over-relaxation is a
+// micro-canonical move: it preserves s.h site-wise and therefore the total
+// energy exactly — the key invariant the test suite checks.
+//
+// Slab decomposition along Z (single-dimension decomposition, as in the
+// paper): each rank owns `local_z` interior planes plus two halo planes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace apn::apps::hsg {
+
+struct Spin {
+  float x = 0, y = 0, z = 1;
+};
+static_assert(sizeof(Spin) == 12, "paper message sizes assume 12 B spins");
+
+/// One rank's slab: planes are indexed z in [0, local_z+1], where 0 and
+/// local_z+1 are halos owned by the neighbor ranks.
+class Slab {
+ public:
+  /// `z_offset`: global z of local plane 1 (for parity and validation).
+  Slab(int L, int local_z, int z_offset);
+
+  int L() const { return L_; }
+  int local_z() const { return local_z_; }
+  int z_offset() const { return z_offset_; }
+
+  /// Deterministic random unit spins for the *global* lattice: the value
+  /// of a site depends only on its global coordinates and the seed, so
+  /// different decompositions produce identical initial states.
+  void randomize(std::uint64_t seed);
+
+  Spin& at(int z, int y, int x) {
+    return spins_[static_cast<std::size_t>((z * L_ + y) * L_ + x)];
+  }
+  const Spin& at(int z, int y, int x) const {
+    return spins_[static_cast<std::size_t>((z * L_ + y) * L_ + x)];
+  }
+
+  /// Over-relax all sites of the given parity in local plane z (1-based
+  /// interior plane). Parity is evaluated on *global* coordinates.
+  void update_plane(int z, int parity);
+
+  /// Over-relax every interior site of the given parity.
+  void update_interior(int parity);
+  /// Boundary planes only (z = 1 and z = local_z).
+  void update_boundary(int parity);
+  /// Bulk = interior minus boundary planes.
+  void update_bulk(int parity);
+
+  /// Energy of all bonds owned by this slab: +x, +y bonds of interior
+  /// sites and the z bonds from each interior site to its z+1 neighbor
+  /// (halo plane included), plus z bonds from the lower halo into plane 1
+  /// are NOT counted (they belong to the neighbor below). Summing over
+  /// ranks yields the exact total lattice energy.
+  double owned_energy() const;
+
+  /// Pack the spins of one parity of local plane z into `out` (the halo
+  /// payload: L*L/2 spins, 12 B each).
+  void pack_parity_plane(int z, int parity, std::vector<std::uint8_t>& out) const;
+  /// Unpack a parity-plane payload into halo plane z (0 or local_z+1).
+  /// `global_z` is the global coordinate of that halo plane.
+  void unpack_parity_plane(int z, int parity, std::span<const std::uint8_t> in);
+
+  /// Number of spins of one parity in one plane.
+  std::size_t parity_plane_count() const {
+    return static_cast<std::size_t>(L_) * static_cast<std::size_t>(L_) / 2;
+  }
+  std::size_t parity_plane_bytes() const {
+    return parity_plane_count() * sizeof(Spin);
+  }
+
+  const std::vector<Spin>& raw() const { return spins_; }
+
+ private:
+  int global_z(int local_plane) const {
+    // Halo planes map to the neighbor's global coordinate (periodic).
+    return local_plane + z_offset_ - 1;
+  }
+  int site_parity(int z, int y, int x) const {
+    int gz = global_z(z);
+    return ((gz % 2 + 2) + y + x) % 2;
+  }
+
+  int L_;
+  int local_z_;
+  int z_offset_;
+  std::vector<Spin> spins_;
+};
+
+/// Whole-lattice reference implementation used to validate the
+/// decomposed/overlapped version site-by-site.
+class ReferenceLattice {
+ public:
+  explicit ReferenceLattice(int L);
+  void randomize(std::uint64_t seed);
+  void sweep();  ///< one over-relaxation step: even phase, then odd phase
+  double energy() const;
+  const Spin& at(int z, int y, int x) const {
+    return spins_[static_cast<std::size_t>((z * L_ + y) * L_ + x)];
+  }
+
+ private:
+  void update_parity(int parity);
+  int L_;
+  std::vector<Spin> spins_;
+};
+
+/// The spin value assigned to global site (z,y,x) by `randomize(seed)`.
+Spin deterministic_spin(std::uint64_t seed, int z, int y, int x);
+
+}  // namespace apn::apps::hsg

@@ -1,0 +1,60 @@
+// Distributed runner for the 2-D (Z x Y) decomposed Heisenberg spin glass —
+// the paper's multi-dimensional-decomposition conjecture, made testable.
+// Per checkerboard phase each rank updates its four boundary faces,
+// exchanges four parity-packed face halos with its grid neighbors
+// (overlapped with the bulk update), and synchronizes.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "apps/hsg/lattice2d.hpp"
+#include "apps/hsg/runner.hpp"
+#include "cluster/cluster.hpp"
+
+namespace apn::apps::hsg {
+
+struct Hsg2dConfig {
+  int L = 16;
+  int steps = 2;
+  /// Process grid: pz * py must equal the cluster size and divide L.
+  int pz = 2;
+  int py = 2;
+  CommMode mode = CommMode::kP2pOn;  ///< kP2pOn or kP2pOff
+  bool functional = true;
+  std::uint64_t seed = 42;
+  std::uint32_t halo_chunk_bytes = 128 * 1024;
+  std::uint64_t occupancy_knee_sites = 150000;
+  double occupancy_cap = 3.0;
+};
+
+class Hsg2dRun {
+ public:
+  Hsg2dRun(cluster::Cluster& cluster, Hsg2dConfig config);
+  ~Hsg2dRun();
+
+  HsgMetrics run();
+  const Slab2d& slab(int rank) const;
+
+  /// Total bytes a rank sends per phase (for comparing against the 1-D
+  /// decomposition's halo volume).
+  std::uint64_t halo_bytes_per_phase() const;
+
+ private:
+  struct RankState;
+  sim::Coro rank_main(int rank);
+  sim::Coro exchange_phase(int rank, int parity,
+                           std::shared_ptr<sim::Gate> done);
+  Time kernel_time(int rank, std::uint64_t sites) const;
+  int neighbor(int rank, Face face) const;
+  std::uint64_t face_bytes_estimate(Face face) const;
+
+  cluster::Cluster& cluster_;
+  Hsg2dConfig cfg_;
+  int np_;
+  int lz_, ly_;
+  std::vector<std::unique_ptr<RankState>> ranks_;
+  int ready_count_ = 0;
+};
+
+}  // namespace apn::apps::hsg

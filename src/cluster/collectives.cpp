@@ -1,0 +1,232 @@
+#include "cluster/collectives.hpp"
+
+#include <functional>
+
+namespace apn::cluster {
+
+namespace {
+int rounds_for(int np) {
+  int r = 0;
+  for (int span = 1; span < np; span *= 2) ++r;
+  return r;
+}
+}  // namespace
+
+struct Collectives::NodeState {
+  explicit NodeState(sim::Simulator& sim, int np, int rounds)
+      : barrier_slots(static_cast<std::size_t>(rounds), 0),
+        stage_barrier(static_cast<std::size_t>(rounds), 0),
+        reduce_values(static_cast<std::size_t>(np), 0),
+        reduce_epochs(static_cast<std::size_t>(np), 0),
+        app_events(sim) {}
+
+  // Remote-writable slot arrays (registered host memory).
+  std::vector<std::uint64_t> barrier_slots;  ///< [round] <- partner epoch
+  std::vector<std::uint64_t> stage_barrier;  ///< staged outgoing epochs
+  std::vector<std::uint64_t> reduce_values;  ///< [src] gathered at rank 0
+  std::vector<std::uint64_t> reduce_epochs;  ///< [src] arrival flags
+  std::uint64_t bcast_slot[2] = {0, 0};      ///< {epoch, value}
+  std::uint64_t stage_value = 0;             ///< staged outgoing value
+  std::uint64_t stage_epoch = 0;
+  std::uint64_t stage_bcast[2] = {0, 0};
+
+  std::uint64_t barrier_epoch = 0;
+  std::uint64_t reduce_epoch = 0;
+  sim::Queue<core::RdmaEvent> app_events;
+  /// Conditions re-evaluated on every collective-slot completion; an entry
+  /// returning true is done and removed.
+  std::vector<std::function<bool()>> waiters;
+
+  void poll() {
+    std::erase_if(waiters, [](auto& w) { return w(); });
+  }
+};
+
+Collectives::Collectives(Cluster& cluster)
+    : cluster_(cluster), np_(cluster.size()) {
+  const int rounds = rounds_for(np_);
+  for (int r = 0; r < np_; ++r) {
+    nodes_.push_back(std::make_unique<NodeState>(cluster.simulator(), np_,
+                                                 rounds));
+    pump(r);
+  }
+}
+
+Collectives::~Collectives() = default;
+
+sim::Queue<core::RdmaEvent>& Collectives::events(int rank) {
+  return nodes_.at(static_cast<std::size_t>(rank))->app_events;
+}
+
+bool Collectives::is_collective_addr(int rank, std::uint64_t vaddr) const {
+  const NodeState& st = *nodes_[static_cast<std::size_t>(rank)];
+  auto within = [vaddr](const void* base, std::size_t bytes) {
+    auto b = reinterpret_cast<std::uint64_t>(base);
+    return vaddr >= b && vaddr < b + bytes;
+  };
+  return within(st.barrier_slots.data(),
+                st.barrier_slots.size() * sizeof(std::uint64_t)) ||
+         within(st.reduce_values.data(),
+                st.reduce_values.size() * sizeof(std::uint64_t)) ||
+         within(st.reduce_epochs.data(),
+                st.reduce_epochs.size() * sizeof(std::uint64_t)) ||
+         within(st.bcast_slot, sizeof(st.bcast_slot));
+}
+
+sim::Future<bool> Collectives::setup() {
+  sim::Future<bool> done(cluster_.simulator());
+  auto remaining = std::make_shared<int>(np_);
+  for (int r = 0; r < np_; ++r) {
+    [](Collectives* self, int rank, std::shared_ptr<int> remaining,
+       sim::Future<bool> done) -> sim::Coro {
+      NodeState& st = *self->nodes_[static_cast<std::size_t>(rank)];
+      core::RdmaDevice& rdma = self->cluster_.rdma(rank);
+      auto reg = [&](const void* base, std::size_t bytes) {
+        return rdma.register_buffer(reinterpret_cast<std::uint64_t>(base),
+                                    bytes, core::MemType::kHost);
+      };
+      co_await reg(st.barrier_slots.data(),
+                   st.barrier_slots.size() * sizeof(std::uint64_t));
+      co_await reg(st.reduce_values.data(),
+                   st.reduce_values.size() * sizeof(std::uint64_t));
+      co_await reg(st.reduce_epochs.data(),
+                   st.reduce_epochs.size() * sizeof(std::uint64_t));
+      co_await reg(st.bcast_slot, sizeof(st.bcast_slot));
+      if (--*remaining == 0) done.set(true);
+    }(this, r, remaining, done);
+  }
+  return done;
+}
+
+sim::Coro Collectives::pump(int rank) {
+  NodeState& st = *nodes_[static_cast<std::size_t>(rank)];
+  core::RdmaDevice& rdma = cluster_.rdma(rank);
+  for (;;) {
+    core::RdmaEvent ev = co_await rdma.events().pop();
+    if (is_collective_addr(rank, ev.vaddr)) {
+      st.poll();
+    } else {
+      st.app_events.push(ev);
+    }
+  }
+}
+
+sim::Future<bool> Collectives::barrier(int rank) {
+  sim::Future<bool> done(cluster_.simulator());
+  run_barrier(rank, done);
+  return done;
+}
+
+sim::Coro Collectives::run_barrier(int rank, sim::Future<bool> done) {
+  NodeState& st = *nodes_[static_cast<std::size_t>(rank)];
+  core::RdmaDevice& rdma = cluster_.rdma(rank);
+  const std::uint64_t epoch = ++st.barrier_epoch;
+  int round = 0;
+  for (int span = 1; span < np_; span *= 2, ++round) {
+    const int partner = (rank + span) % np_;
+    NodeState& pst = *nodes_[static_cast<std::size_t>(partner)];
+    st.stage_barrier[static_cast<std::size_t>(round)] = epoch;
+    rdma.put(cluster_.coord(partner),
+             reinterpret_cast<std::uint64_t>(
+                 &st.stage_barrier[static_cast<std::size_t>(round)]),
+             sizeof(std::uint64_t),
+             reinterpret_cast<std::uint64_t>(
+                 &pst.barrier_slots[static_cast<std::size_t>(round)]),
+             core::MemType::kHost, true);
+    // Wait for the partner on the other side of this round.
+    auto gate = std::make_shared<sim::Gate>(cluster_.simulator());
+    const int r = round;
+    st.waiters.push_back([&st, r, epoch, gate] {
+      if (st.barrier_slots[static_cast<std::size_t>(r)] >= epoch) {
+        gate->open();
+        return true;
+      }
+      return false;
+    });
+    st.poll();
+    co_await gate->wait();
+  }
+  done.set(true);
+}
+
+sim::Future<std::uint64_t> Collectives::allreduce_sum(int rank,
+                                                      std::uint64_t value) {
+  sim::Future<std::uint64_t> done(cluster_.simulator());
+  run_allreduce(rank, value, done);
+  return done;
+}
+
+sim::Coro Collectives::run_allreduce(int rank, std::uint64_t value,
+                                     sim::Future<std::uint64_t> done) {
+  NodeState& st = *nodes_[static_cast<std::size_t>(rank)];
+  core::RdmaDevice& rdma = cluster_.rdma(rank);
+  const std::uint64_t epoch = ++st.reduce_epoch;
+  NodeState& root = *nodes_[0];
+
+  if (rank != 0) {
+    // Value first, then the epoch flag: APEnet+ delivery is FIFO per pair.
+    st.stage_value = value;
+    st.stage_epoch = epoch;
+    rdma.put(cluster_.coord(0),
+             reinterpret_cast<std::uint64_t>(&st.stage_value),
+             sizeof(std::uint64_t),
+             reinterpret_cast<std::uint64_t>(
+                 &root.reduce_values[static_cast<std::size_t>(rank)]),
+             core::MemType::kHost, true);
+    rdma.put(cluster_.coord(0),
+             reinterpret_cast<std::uint64_t>(&st.stage_epoch),
+             sizeof(std::uint64_t),
+             reinterpret_cast<std::uint64_t>(
+                 &root.reduce_epochs[static_cast<std::size_t>(rank)]),
+             core::MemType::kHost, true);
+    // Wait for the broadcast of this epoch's result.
+    auto gate = std::make_shared<sim::Gate>(cluster_.simulator());
+    st.waiters.push_back([&st, epoch, gate] {
+      if (st.bcast_slot[0] >= epoch) {
+        gate->open();
+        return true;
+      }
+      return false;
+    });
+    st.poll();
+    co_await gate->wait();
+    done.set(st.bcast_slot[1]);
+    co_return;
+  }
+
+  // Rank 0: gather, sum, broadcast.
+  root.reduce_values[0] = value;
+  auto gate = std::make_shared<sim::Gate>(cluster_.simulator());
+  const int np = np_;
+  root.waiters.push_back([&root, epoch, np, gate] {
+    for (int i = 1; i < np; ++i) {
+      if (root.reduce_epochs[static_cast<std::size_t>(i)] < epoch)
+        return false;
+    }
+    gate->open();
+    return true;
+  });
+  root.poll();
+  co_await gate->wait();
+  std::uint64_t sum = 0;
+  for (int i = 0; i < np_; ++i)
+    sum += root.reduce_values[static_cast<std::size_t>(i)];
+  root.stage_bcast[0] = epoch;
+  root.stage_bcast[1] = sum;
+  for (int i = 1; i < np_; ++i) {
+    NodeState& pst = *nodes_[static_cast<std::size_t>(i)];
+    rdma.put(cluster_.coord(i),
+             reinterpret_cast<std::uint64_t>(&root.stage_bcast[1]),
+             sizeof(std::uint64_t),
+             reinterpret_cast<std::uint64_t>(&pst.bcast_slot[1]),
+             core::MemType::kHost, true);
+    rdma.put(cluster_.coord(i),
+             reinterpret_cast<std::uint64_t>(&root.stage_bcast[0]),
+             sizeof(std::uint64_t),
+             reinterpret_cast<std::uint64_t>(&pst.bcast_slot[0]),
+             core::MemType::kHost, true);
+  }
+  done.set(sum);
+}
+
+}  // namespace apn::cluster

@@ -1,0 +1,53 @@
+// RDMA-native collectives over APEnet+ — barrier and allreduce built from
+// plain PUTs into pre-registered host slots, the style the paper's
+// application codes use (there is no MPI on APEnet+; §V-D/E synchronize
+// through the RDMA API).
+//
+// Each node contributes a slot array; a dissemination barrier runs
+// ceil(log2(N)) rounds of peer PUTs, and allreduce gathers to rank 0 and
+// broadcasts. The Collectives object owns each device's receive-event
+// stream: it consumes collective completions internally and forwards every
+// other event to `events(rank)`, which the application consumes *instead
+// of* RdmaDevice::events().
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+
+namespace apn::cluster {
+
+class Collectives {
+ public:
+  explicit Collectives(Cluster& cluster);
+  ~Collectives();
+
+  /// Register the slot arrays on every node; must complete (run the
+  /// simulator or co_await) before the first collective.
+  sim::Future<bool> setup();
+
+  /// Application-visible event stream for `rank` (non-collective PUTs).
+  sim::Queue<core::RdmaEvent>& events(int rank);
+
+  /// Dissemination barrier: completes when every rank has entered.
+  sim::Future<bool> barrier(int rank);
+
+  /// Global sum; every rank receives the total. Ranks must call
+  /// collectives in the same order (standard MPI-like contract).
+  sim::Future<std::uint64_t> allreduce_sum(int rank, std::uint64_t value);
+
+ private:
+  struct NodeState;
+  sim::Coro pump(int rank);
+  sim::Coro run_barrier(int rank, sim::Future<bool> done);
+  sim::Coro run_allreduce(int rank, std::uint64_t value,
+                          sim::Future<std::uint64_t> done);
+  bool is_collective_addr(int rank, std::uint64_t vaddr) const;
+
+  Cluster& cluster_;
+  int np_;
+  std::vector<std::unique_ptr<NodeState>> nodes_;
+};
+
+}  // namespace apn::cluster

@@ -1,0 +1,363 @@
+#include "cluster/harness.hpp"
+
+#include <algorithm>
+
+namespace apn::cluster {
+
+namespace {
+
+/// A test buffer of the requested memory type on one node. Host buffers
+/// are page-aligned so the card's V2P scatter behaviour — and therefore
+/// the measured timing — does not depend on where the allocator happened
+/// to place them (keeps benches bit-reproducible under ASLR).
+struct Buf {
+  std::uint64_t addr = 0;
+  std::shared_ptr<std::vector<std::uint8_t>> host;  // host buffers only
+
+  static Buf make(Node& node, core::MemType type, std::uint64_t size) {
+    Buf b;
+    if (type == core::MemType::kGpu || type == core::MemType::kGpuBar1) {
+      b.addr = node.cuda().malloc_device(0, size);
+    } else {
+      b.host = std::make_shared<std::vector<std::uint8_t>>(size + 4096);
+      std::uint64_t raw = reinterpret_cast<std::uint64_t>(b.host->data());
+      b.addr = (raw + 4095) & ~4095ull;
+    }
+    return b;
+  }
+};
+
+struct Shared {
+  Time t0 = 0;
+  Time t_end = 0;
+  std::shared_ptr<sim::Gate> ready;  // receiver registration complete
+};
+
+}  // namespace
+
+BwResult loopback_bandwidth(Cluster& c, int node, core::MemType src_type,
+                            std::uint64_t size, int count) {
+  Node& n = c.node(node);
+  const bool flush = n.card().params().flush_at_switch;
+  Buf src = Buf::make(n, src_type, size);
+  Buf dst = Buf::make(n, src_type, size);
+  auto sh = std::make_shared<Shared>();
+
+  [](Cluster* c, int node, Buf src, Buf dst, std::uint64_t size, int count,
+     bool flush, core::MemType type,
+     std::shared_ptr<Shared> sh) -> sim::Coro {
+    core::RdmaDevice& rdma = c->rdma(node);
+    co_await rdma.register_buffer(dst.addr, size, type);
+    co_await rdma.register_buffer(src.addr, size, type);
+    sh->t0 = c->simulator().now();
+    std::vector<std::shared_ptr<sim::Gate>> gates;
+    gates.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) {
+      auto p = rdma.put(c->coord(node), src.addr, size, dst.addr, type,
+                        /*carry_data=*/false);
+      gates.push_back(p.tx_done);
+    }
+    if (flush) {
+      for (auto& g : gates) co_await g->wait();
+    } else {
+      for (int i = 0; i < count; ++i) co_await rdma.events().pop();
+    }
+    sh->t_end = c->simulator().now();
+  }(&c, node, src, dst, size, count, flush, src_type, sh);
+
+  c.simulator().run();
+  BwResult r;
+  r.bytes = size * static_cast<std::uint64_t>(count);
+  r.elapsed = sh->t_end - sh->t0;
+  r.mbps = units::bandwidth_MBps(r.bytes, r.elapsed);
+  return r;
+}
+
+BwResult twonode_bandwidth(Cluster& c, std::uint64_t size, int count,
+                           TwoNodeOptions opt) {
+  Node& s = c.node(0);
+  Node& d = c.node(1);
+  Buf src = Buf::make(s, opt.src_type, size);
+  Buf bounce_tx[2] = {Buf::make(s, core::MemType::kHost, size),
+                      Buf::make(s, core::MemType::kHost, size)};
+  // Destination: either the real-typed buffer, or (staged RX) a host
+  // landing buffer that is copied up to the GPU per message.
+  Buf dst = Buf::make(d, opt.staged_rx ? core::MemType::kHost : opt.dst_type,
+                      size);
+  Buf dst_gpu = opt.staged_rx ? Buf::make(d, core::MemType::kGpu, size)
+                              : Buf{};
+  auto sh = std::make_shared<Shared>();
+  sh->ready = std::make_shared<sim::Gate>(c.simulator());
+
+  // Receiver
+  [](Cluster* c, Buf dst, Buf dst_gpu, std::uint64_t size, int count,
+     TwoNodeOptions opt, std::shared_ptr<Shared> sh) -> sim::Coro {
+    core::RdmaDevice& rdma = c->rdma(1);
+    co_await rdma.register_buffer(
+        dst.addr, size,
+        opt.staged_rx ? core::MemType::kHost : opt.dst_type);
+    sh->ready->open();
+    for (int i = 0; i < count; ++i) {
+      co_await rdma.events().pop();
+      // Staged RX: synchronous cudaMemcpy H2D per message, as in the
+      // paper's P2P=OFF benchmark.
+      if (opt.staged_rx)
+        co_await c->node(1).cuda().memcpy_sync(dst_gpu.addr, dst.addr, size);
+    }
+    sh->t_end = c->simulator().now();
+  }(&c, dst, dst_gpu, size, count, opt, sh);
+
+  // Sender
+  [](Cluster* c, Buf src, Buf b0, Buf b1, Buf dst, std::uint64_t size,
+     int count, TwoNodeOptions opt, std::shared_ptr<Shared> sh) -> sim::Coro {
+    core::RdmaDevice& rdma = c->rdma(0);
+    core::MemType wire_type = opt.staged_tx ? core::MemType::kHost
+                                            : opt.src_type;
+    if (opt.src_type == core::MemType::kGpu && !opt.staged_tx)
+      co_await rdma.register_buffer(src.addr, size, core::MemType::kGpu);
+    // Let the receiver finish registration first.
+    co_await sh->ready->wait();
+    sh->t0 = c->simulator().now();
+    // Staged TX uses a *synchronous* cudaMemcpy per message, exactly like
+    // the paper's P2P=OFF benchmark (its Fig. 10 shows the full ~10 us
+    // D2H sync cost in the sender's per-message overhead).
+    for (int i = 0; i < count; ++i) {
+      std::uint64_t from = src.addr;
+      if (opt.staged_tx) {
+        Buf* b = i % 2 == 0 ? &b0 : &b1;
+        co_await c->node(0).cuda().memcpy_sync(b->addr, src.addr, size);
+        from = b->addr;
+      }
+      rdma.put(c->coord(1), from, size, dst.addr, wire_type,
+               /*carry_data=*/false);
+    }
+  }(&c, src, bounce_tx[0], bounce_tx[1], dst, size, count, opt, sh);
+
+  c.simulator().run();
+  BwResult r;
+  r.bytes = size * static_cast<std::uint64_t>(count);
+  r.elapsed = sh->t_end - sh->t0;
+  r.mbps = units::bandwidth_MBps(r.bytes, r.elapsed);
+  return r;
+}
+
+Time pingpong_latency(Cluster& c, std::uint64_t size, int reps,
+                      TwoNodeOptions opt) {
+  // Symmetric endpoints: each node has a recv buffer of the destination
+  // type and sends from a buffer of the source type.
+  Buf src0 = Buf::make(c.node(0), opt.src_type, size);
+  Buf src1 = Buf::make(c.node(1), opt.src_type, size);
+  Buf dst0 = Buf::make(c.node(0),
+                       opt.staged_rx ? core::MemType::kHost : opt.dst_type,
+                       size);
+  Buf dst1 = Buf::make(c.node(1),
+                       opt.staged_rx ? core::MemType::kHost : opt.dst_type,
+                       size);
+  Buf gpu0 = opt.staged_rx ? Buf::make(c.node(0), core::MemType::kGpu, size)
+                           : Buf{};
+  Buf gpu1 = opt.staged_rx ? Buf::make(c.node(1), core::MemType::kGpu, size)
+                           : Buf{};
+  Buf host0 = Buf::make(c.node(0), core::MemType::kHost, size);
+  Buf host1 = Buf::make(c.node(1), core::MemType::kHost, size);
+  auto sh = std::make_shared<Shared>();
+  sh->ready = std::make_shared<sim::Gate>(c.simulator());
+  auto ready_count = std::make_shared<int>(0);
+
+  auto endpoint = [](Cluster* c, int me, Buf src, Buf dst, Buf gpu, Buf host,
+                     std::uint64_t remote_dst, std::uint64_t size, int reps,
+                     TwoNodeOptions opt, std::shared_ptr<Shared> sh,
+                     std::shared_ptr<int> ready_count) -> sim::Coro {
+    core::RdmaDevice& rdma = c->rdma(me);
+    cuda::Runtime& cuda = c->node(me).cuda();
+    co_await rdma.register_buffer(
+        dst.addr, size, opt.staged_rx ? core::MemType::kHost : opt.dst_type);
+    if (opt.src_type == core::MemType::kGpu && !opt.staged_tx)
+      co_await rdma.register_buffer(src.addr, size, core::MemType::kGpu);
+    if (++*ready_count == 2) sh->ready->open();
+    co_await sh->ready->wait();
+    if (me == 0) sh->t0 = c->simulator().now();
+
+    for (int i = 0; i < reps; ++i) {
+      if (me == 0) {
+        // send
+        std::uint64_t from = src.addr;
+        if (opt.staged_tx) {
+          co_await cuda.memcpy_sync(host.addr, src.addr, size);
+          from = host.addr;
+        }
+        rdma.put(c->coord(1), from, size, remote_dst,
+                 opt.staged_tx ? core::MemType::kHost : opt.src_type, false);
+        // wait reply
+        co_await rdma.events().pop();
+        if (opt.staged_rx)
+          co_await cuda.memcpy_sync(gpu.addr, dst.addr, size);
+      } else {
+        co_await rdma.events().pop();
+        if (opt.staged_rx)
+          co_await cuda.memcpy_sync(gpu.addr, dst.addr, size);
+        std::uint64_t from = src.addr;
+        if (opt.staged_tx) {
+          co_await cuda.memcpy_sync(host.addr, src.addr, size);
+          from = host.addr;
+        }
+        rdma.put(c->coord(0), from, size, remote_dst,
+                 opt.staged_tx ? core::MemType::kHost : opt.src_type, false);
+      }
+    }
+    if (me == 0) sh->t_end = c->simulator().now();
+  };
+
+  endpoint(&c, 0, src0, dst0, gpu0, host0, dst1.addr, size, reps, opt, sh,
+           ready_count);
+  endpoint(&c, 1, src1, dst1, gpu1, host1, dst0.addr, size, reps, opt, sh,
+           ready_count);
+  c.simulator().run();
+  return (sh->t_end - sh->t0) / (2 * reps);
+}
+
+Time host_overhead(Cluster& c, std::uint64_t size, int count,
+                   TwoNodeOptions opt, int window) {
+  Buf src = Buf::make(c.node(0), opt.src_type, size);
+  Buf host = Buf::make(c.node(0), core::MemType::kHost, size);
+  Buf dst = Buf::make(c.node(1),
+                      opt.staged_rx ? core::MemType::kHost : opt.dst_type,
+                      size);
+  auto sh = std::make_shared<Shared>();
+  sh->ready = std::make_shared<sim::Gate>(c.simulator());
+
+  // Receiver just registers and drains.
+  [](Cluster* c, Buf dst, std::uint64_t size, int count, TwoNodeOptions opt,
+     std::shared_ptr<Shared> sh) -> sim::Coro {
+    core::RdmaDevice& rdma = c->rdma(1);
+    co_await rdma.register_buffer(
+        dst.addr, size, opt.staged_rx ? core::MemType::kHost : opt.dst_type);
+    sh->ready->open();
+    for (int i = 0; i < count; ++i) co_await rdma.events().pop();
+  }(&c, dst, size, count, opt, sh);
+
+  [](Cluster* c, Buf src, Buf host, Buf dst, std::uint64_t size, int count,
+     TwoNodeOptions opt, int window, std::shared_ptr<Shared> sh) -> sim::Coro {
+    core::RdmaDevice& rdma = c->rdma(0);
+    cuda::Runtime& cuda = c->node(0).cuda();
+    if (opt.src_type == core::MemType::kGpu && !opt.staged_tx)
+      co_await rdma.register_buffer(src.addr, size, core::MemType::kGpu);
+    co_await sh->ready->wait();
+    sim::Semaphore credits(c->simulator(), window);
+    sh->t0 = c->simulator().now();
+    for (int i = 0; i < count; ++i) {
+      co_await credits.acquire();
+      std::uint64_t from = src.addr;
+      if (opt.staged_tx) {
+        co_await cuda.memcpy_sync(host.addr, src.addr, size);
+        from = host.addr;
+      }
+      auto p = rdma.put(c->coord(1), from, size, dst.addr,
+                        opt.staged_tx ? core::MemType::kHost : opt.src_type,
+                        false);
+      // Free a credit when the message left the card.
+      [](std::shared_ptr<sim::Gate> g, sim::Semaphore* s) -> sim::Coro {
+        co_await g->wait();
+        s->release();
+      }(p.tx_done, &credits);
+    }
+    sh->t_end = c->simulator().now();
+    // Drain remaining credits so `credits` outlives all waiters.
+    for (int i = 0; i < window; ++i) co_await credits.acquire();
+  }(&c, src, host, dst, size, count, opt, window, sh);
+
+  c.simulator().run();
+  return (sh->t_end - sh->t0) / count;
+}
+
+// ---------------------------------------------------------------------------
+// minimpi / IB reference measurements
+// ---------------------------------------------------------------------------
+
+namespace {
+BwResult mpi_bandwidth(Cluster& c, std::uint64_t size, int count,
+                       bool device) {
+  Buf src = Buf::make(c.node(0),
+                      device ? core::MemType::kGpu : core::MemType::kHost,
+                      size);
+  Buf dst = Buf::make(c.node(1),
+                      device ? core::MemType::kGpu : core::MemType::kHost,
+                      size);
+  auto sh = std::make_shared<Shared>();
+
+  [](Cluster* c, Buf dst, std::uint64_t size, int count,
+     std::shared_ptr<Shared> sh) -> sim::Coro {
+    mpi::Rank& r = c->mpi_rank(1);
+    std::vector<mpi::Signal> sigs;
+    sigs.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i)
+      sigs.push_back(r.recv(0, dst.addr, size, 1));
+    for (auto& s : sigs) co_await s;
+    sh->t_end = c->simulator().now();
+  }(&c, dst, size, count, sh);
+
+  [](Cluster* c, Buf src, std::uint64_t size, int count,
+     std::shared_ptr<Shared> sh) -> sim::Coro {
+    mpi::Rank& r = c->mpi_rank(0);
+    co_await sim::delay(c->simulator(), units::us(30));
+    sh->t0 = c->simulator().now();
+    for (int i = 0; i < count; ++i) {
+      co_await r.send(1, src.addr, size, 1);
+    }
+  }(&c, src, size, count, sh);
+
+  c.simulator().run();
+  BwResult r;
+  r.bytes = size * static_cast<std::uint64_t>(count);
+  r.elapsed = sh->t_end - sh->t0;
+  r.mbps = units::bandwidth_MBps(r.bytes, r.elapsed);
+  return r;
+}
+
+Time mpi_latency(Cluster& c, std::uint64_t size, int reps, bool device) {
+  Buf b0 = Buf::make(c.node(0),
+                     device ? core::MemType::kGpu : core::MemType::kHost,
+                     size);
+  Buf b1 = Buf::make(c.node(1),
+                     device ? core::MemType::kGpu : core::MemType::kHost,
+                     size);
+  auto sh = std::make_shared<Shared>();
+
+  [](Cluster* c, Buf b, std::uint64_t size, int reps,
+     std::shared_ptr<Shared> sh) -> sim::Coro {
+    mpi::Rank& r = c->mpi_rank(0);
+    co_await sim::delay(c->simulator(), units::us(30));
+    sh->t0 = c->simulator().now();
+    for (int i = 0; i < reps; ++i) {
+      co_await r.send(1, b.addr, size, 5);
+      co_await r.recv(1, b.addr, size, 6);
+    }
+    sh->t_end = c->simulator().now();
+  }(&c, b0, size, reps, sh);
+
+  [](Cluster* c, Buf b, std::uint64_t size, int reps) -> sim::Coro {
+    mpi::Rank& r = c->mpi_rank(1);
+    for (int i = 0; i < reps; ++i) {
+      co_await r.recv(0, b.addr, size, 5);
+      co_await r.send(0, b.addr, size, 6);
+    }
+  }(&c, b1, size, reps);
+
+  c.simulator().run();
+  return (sh->t_end - sh->t0) / (2 * reps);
+}
+}  // namespace
+
+BwResult ib_gg_bandwidth(Cluster& c, std::uint64_t size, int count) {
+  return mpi_bandwidth(c, size, count, true);
+}
+BwResult ib_hh_bandwidth(Cluster& c, std::uint64_t size, int count) {
+  return mpi_bandwidth(c, size, count, false);
+}
+Time ib_gg_latency(Cluster& c, std::uint64_t size, int reps) {
+  return mpi_latency(c, size, reps, true);
+}
+Time ib_hh_latency(Cluster& c, std::uint64_t size, int reps) {
+  return mpi_latency(c, size, reps, false);
+}
+
+}  // namespace apn::cluster

@@ -1,0 +1,75 @@
+// Minimal leveled logger. Logging is off by default so benchmark inner loops
+// stay clean; tests and examples can raise the level per-component.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+#include "common/units.hpp"
+
+namespace apn {
+
+enum class LogLevel : int { kOff = 0, kError, kWarn, kInfo, kDebug, kTrace };
+
+class Logger {
+ public:
+  explicit Logger(std::string component, LogLevel level = global_level())
+      : component_(std::move(component)), level_(level) {}
+
+  LogLevel level() const { return level_; }
+  void set_level(LogLevel l) { level_ = l; }
+
+  /// Process-wide default level, applied to loggers constructed afterwards.
+  static LogLevel& global_level() {
+    static LogLevel level = LogLevel::kWarn;
+    return level;
+  }
+
+  template <typename... Args>
+  void log(LogLevel l, Time now, const char* fmt, Args&&... args) const {
+    if (l > level_) return;
+    std::fprintf(stderr, "[%10.3f us] %-12s %s: ", units::to_us(now),
+                 component_.c_str(), name(l));
+    std::fprintf(stderr, fmt, std::forward<Args>(args)...);
+    std::fputc('\n', stderr);
+  }
+
+  template <typename... Args>
+  void error(Time now, const char* fmt, Args&&... args) const {
+    log(LogLevel::kError, now, fmt, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  void warn(Time now, const char* fmt, Args&&... args) const {
+    log(LogLevel::kWarn, now, fmt, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  void info(Time now, const char* fmt, Args&&... args) const {
+    log(LogLevel::kInfo, now, fmt, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  void debug(Time now, const char* fmt, Args&&... args) const {
+    log(LogLevel::kDebug, now, fmt, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  void trace(Time now, const char* fmt, Args&&... args) const {
+    log(LogLevel::kTrace, now, fmt, std::forward<Args>(args)...);
+  }
+
+ private:
+  static const char* name(LogLevel l) {
+    switch (l) {
+      case LogLevel::kError: return "ERROR";
+      case LogLevel::kWarn: return "WARN";
+      case LogLevel::kInfo: return "INFO";
+      case LogLevel::kDebug: return "DEBUG";
+      case LogLevel::kTrace: return "TRACE";
+      default: return "?";
+    }
+  }
+
+  std::string component_;
+  LogLevel level_;
+};
+
+}  // namespace apn

@@ -1,0 +1,95 @@
+// Small statistics helpers used by benchmark harnesses and model validation:
+// streaming mean/variance (Welford), min/max, and percentile extraction.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace apn {
+
+/// Streaming mean / variance / extrema accumulator (Welford's algorithm).
+class OnlineStats {
+ public:
+  void add(double x) {
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double sum() const { return sum_; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const {
+    return n_ ? min_ : std::numeric_limits<double>::quiet_NaN();
+  }
+  double max() const {
+    return n_ ? max_ : std::numeric_limits<double>::quiet_NaN();
+  }
+
+  void reset() { *this = OnlineStats{}; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Sample container with percentile queries (copies + sorts on demand).
+class Samples {
+ public:
+  void add(double x) { values_.push_back(x); }
+  std::size_t count() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  double mean() const {
+    if (values_.empty()) return 0.0;
+    double s = 0.0;
+    for (double v : values_) s += v;
+    return s / static_cast<double>(values_.size());
+  }
+
+  double min() const {
+    return values_.empty() ? 0.0
+                           : *std::min_element(values_.begin(), values_.end());
+  }
+  double max() const {
+    return values_.empty() ? 0.0
+                           : *std::max_element(values_.begin(), values_.end());
+  }
+
+  /// Percentile in [0,100], nearest-rank with linear interpolation.
+  double percentile(double p) const {
+    if (values_.empty()) return 0.0;
+    std::vector<double> sorted = values_;
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.size() == 1) return sorted.front();
+    double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(rank);
+    std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+  }
+
+  double median() const { return percentile(50.0); }
+  const std::vector<double>& values() const { return values_; }
+  void reset() { values_.clear(); }
+
+ private:
+  std::vector<double> values_;
+};
+
+}  // namespace apn

@@ -1,0 +1,76 @@
+// Plain-text table/series printer used by the benchmark harnesses to emit
+// the paper's tables and figure data series in a uniform, diff-friendly form.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace apn {
+
+/// Column-aligned text table. Rows are strings; numeric formatting is done
+/// by the caller so each bench controls precision per the paper's tables.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void print(std::FILE* out = stdout) const {
+    std::vector<std::size_t> widths(headers_.size(), 0);
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+      widths[c] = headers_[c].size();
+    for (const auto& row : rows_)
+      for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
+        widths[c] = std::max(widths[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string>& row) {
+      std::fputs("| ", out);
+      for (std::size_t c = 0; c < widths.size(); ++c) {
+        const std::string& cell = c < row.size() ? row[c] : std::string{};
+        std::fprintf(out, "%-*s | ", static_cast<int>(widths[c]),
+                     cell.c_str());
+      }
+      std::fputc('\n', out);
+    };
+
+    print_row(headers_);
+    std::fputs("|", out);
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      for (std::size_t i = 0; i < widths[c] + 2; ++i) std::fputc('-', out);
+      std::fputc('|', out);
+    }
+    std::fputc('\n', out);
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style string formatting into std::string.
+template <typename... Args>
+std::string strf(const char* fmt, Args... args) {
+  int n = std::snprintf(nullptr, 0, fmt, args...);
+  if (n <= 0) return {};
+  std::string s(static_cast<std::size_t>(n), '\0');
+  std::snprintf(s.data(), s.size() + 1, fmt, args...);
+  return s;
+}
+
+/// Human-readable message size label ("32", "4K", "2M") as used in the
+/// paper's figure axes.
+inline std::string size_label(std::uint64_t bytes) {
+  if (bytes >= 1024ull * 1024ull && bytes % (1024ull * 1024ull) == 0)
+    return strf("%lluM",
+                static_cast<unsigned long long>(bytes / (1024ull * 1024ull)));
+  if (bytes >= 1024ull && bytes % 1024ull == 0)
+    return strf("%lluK", static_cast<unsigned long long>(bytes / 1024ull));
+  return strf("%llu", static_cast<unsigned long long>(bytes));
+}
+
+}  // namespace apn

@@ -1,0 +1,61 @@
+// Unit helpers for the apenetpp simulation: time in integer picoseconds,
+// sizes in bytes, rates in bytes/second.
+//
+// All simulated time is kept as int64_t picoseconds (`apn::Time`) so that
+// event ordering is exact and runs are bit-reproducible. 2^63 ps ~ 106 days
+// of simulated time, far beyond any experiment here.
+#pragma once
+
+#include <cstdint>
+
+namespace apn {
+
+/// Simulated time in picoseconds.
+using Time = std::int64_t;
+
+namespace units {
+
+// --- time ---------------------------------------------------------------
+constexpr Time ps(double v) { return static_cast<Time>(v); }
+constexpr Time ns(double v) { return static_cast<Time>(v * 1e3); }
+constexpr Time us(double v) { return static_cast<Time>(v * 1e6); }
+constexpr Time ms(double v) { return static_cast<Time>(v * 1e9); }
+constexpr Time sec(double v) { return static_cast<Time>(v * 1e12); }
+
+constexpr double to_ns(Time t) { return static_cast<double>(t) / 1e3; }
+constexpr double to_us(Time t) { return static_cast<double>(t) / 1e6; }
+constexpr double to_ms(Time t) { return static_cast<double>(t) / 1e9; }
+constexpr double to_sec(Time t) { return static_cast<double>(t) / 1e12; }
+
+// --- sizes ---------------------------------------------------------------
+constexpr std::uint64_t KiB(std::uint64_t v) { return v * 1024ull; }
+constexpr std::uint64_t MiB(std::uint64_t v) { return v * 1024ull * 1024ull; }
+constexpr std::uint64_t GiB(std::uint64_t v) {
+  return v * 1024ull * 1024ull * 1024ull;
+}
+
+// --- rates ---------------------------------------------------------------
+// Rates are double bytes/second; conversion to per-byte serialization time
+// happens once at model construction, not in inner loops.
+constexpr double MBps(double v) { return v * 1e6; }
+constexpr double GBps(double v) { return v * 1e9; }
+/// Link signalling rate quoted in Gbit/s (e.g. "28 Gbps" torus links).
+constexpr double Gbps(double v) { return v * 1e9 / 8.0; }
+
+/// Serialization time for `bytes` at `bytes_per_sec`, rounded up to 1 ps.
+constexpr Time transfer_time(std::uint64_t bytes, double bytes_per_sec) {
+  if (bytes == 0) return 0;
+  double t = static_cast<double>(bytes) / bytes_per_sec * 1e12;
+  Time r = static_cast<Time>(t);
+  return r > 0 ? r : 1;
+}
+
+/// Achieved bandwidth in MB/s for `bytes` moved in `elapsed` picoseconds.
+constexpr double bandwidth_MBps(std::uint64_t bytes, Time elapsed) {
+  if (elapsed <= 0) return 0.0;
+  return static_cast<double>(bytes) / (static_cast<double>(elapsed) * 1e-12) /
+         1e6;
+}
+
+}  // namespace units
+}  // namespace apn

@@ -1,0 +1,33 @@
+#include "core/network.hpp"
+
+#include <stdexcept>
+
+namespace apn::core {
+
+void ApenetNetwork::wire() {
+  if (static_cast<int>(cards_.size()) != shape_.size())
+    throw std::logic_error("ApenetNetwork: card count != torus size");
+
+  const TorusPort all_ports[kTorusPorts] = {
+      TorusPort::kXplus,  TorusPort::kXminus, TorusPort::kYplus,
+      TorusPort::kYminus, TorusPort::kZplus,  TorusPort::kZminus};
+
+  for (int i = 0; i < shape_.size(); ++i) {
+    ApenetCard& c = *cards_[static_cast<std::size_t>(i)];
+    c.set_shape(shape_);
+    TorusCoord me = shape_.coord(i);
+    for (TorusPort port : all_ports) {
+      TorusCoord nb = shape_.neighbor(me, port);
+      if (nb == me) continue;  // dimension of size 1: port unused
+      ApenetCard& peer = *cards_[static_cast<std::size_t>(shape_.index(nb))];
+      sim::ChannelParams cp;
+      cp.bytes_per_sec = c.params().torus_bytes_per_sec();
+      cp.per_send_overhead = 0;  // header charged via packet wire_bytes
+      cp.latency = c.params().torus_link_latency;
+      channels_.push_back(std::make_unique<sim::Channel>(*sim_, cp));
+      c.set_link(port, channels_.back().get(), &peer);
+    }
+  }
+}
+
+}  // namespace apn::core

@@ -1,0 +1,37 @@
+// APEnet+ network packet. Packets carry up to 4 KB of payload plus a header
+// holding the 64-bit destination *virtual* address (the defining trait of
+// the APEnet+ RDMA model: the receiving card resolves it through BUF_LIST
+// and its V2P tables, §IV of the paper).
+#pragma once
+
+#include <cstdint>
+
+#include "core/torus.hpp"
+#include "pcie/fabric.hpp"
+
+namespace apn::core {
+
+constexpr std::uint32_t kMaxPacketPayload = 4096;
+/// Header + footer/CRC bytes occupied on the torus wire per packet.
+constexpr std::uint32_t kPacketWireOverhead = 32;
+
+struct PacketHeader {
+  TorusCoord src;
+  TorusCoord dst;
+  std::uint64_t dst_vaddr = 0;  ///< target address of THIS packet's payload
+  std::uint32_t dst_pid = 0;    ///< owning process on the destination node
+  std::uint64_t msg_id = 0;     ///< globally unique PUT id
+  std::uint64_t msg_vaddr = 0;  ///< target address of the whole message
+  std::uint32_t msg_bytes = 0;  ///< total message size
+};
+
+struct ApPacket {
+  PacketHeader hdr;
+  pcie::Payload payload;
+
+  std::uint64_t wire_bytes() const {
+    return payload.bytes + kPacketWireOverhead;
+  }
+};
+
+}  // namespace apn::core

@@ -1,0 +1,87 @@
+// Calibration parameters of the APEnet+ card model.
+//
+// Defaults reproduce the paper's Cluster I measurements (see DESIGN.md §3):
+// every knob that a paper experiment sweeps (GPU_P2P_TX version, prefetch
+// window, torus link speed, number of registered buffers) is exposed here.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+#include "pcie/link.hpp"
+
+namespace apn::core {
+
+/// The three generations of the GPU memory-read engine (§IV).
+enum class P2pTxVersion {
+  kV1,  ///< software-only on Nios II; single outstanding <=4 KB request
+  kV2,  ///< HW request generation + bounded prefetch window (4-32 KB)
+  kV3,  ///< unbounded prefetch, back-pressured by TX FIFO occupancy
+};
+
+inline const char* version_name(P2pTxVersion v) {
+  switch (v) {
+    case P2pTxVersion::kV1: return "v1";
+    case P2pTxVersion::kV2: return "v2";
+    case P2pTxVersion::kV3: return "v3";
+  }
+  return "?";
+}
+
+/// Firmware task costs on the Nios II micro-controller. RX processing of a
+/// 4 KB packet sums to ~3.3 us (the paper's "order of 3 us", split roughly
+/// evenly between BUF_LIST traversal and V2P translation), which caps the
+/// receive path at ~1.2 GB/s — the paper's central bottleneck.
+struct NiosCosts {
+  Time rx_buflist_base = units::us(1.05);
+  Time rx_buflist_per_entry = units::ns(55);  ///< linear scan per buffer
+  Time rx_v2p = units::us(1.45);              ///< 4-level table walk (const)
+  Time rx_dma_kick = units::us(0.70);         ///< program the RX DMA write
+  Time rx_gpu_window_extra = units::ns(350);  ///< P2P window management
+  Time tx_gpu_setup = units::us(1.1);   ///< per-message V2P + protocol setup
+  Time tx_gpu_v1_per_request = units::us(1.9);  ///< V1 software request path
+  Time tx_gpu_v2_per_packet = units::ns(350);   ///< V2 per-4KB supervision
+  Time tx_gpu_v3_per_refill = units::ns(300);   ///< V3 per window refill
+};
+
+struct ApenetParams {
+  pcie::LinkParams pcie = pcie::gen2_x8();
+
+  // --- torus links -----------------------------------------------------------
+  double torus_link_gbps = 28.0;        ///< paper: "Link 28Gbps"
+  Time torus_link_latency = units::ns(150);
+  Time router_latency = units::ns(120);
+
+  // --- host-buffer transmission (kernel-driver + TX DMA read) -----------
+  Time descriptor_fetch = units::us(0.35);  ///< card descriptor processing
+  std::uint32_t host_read_request_bytes = 512;
+  /// Outstanding host-DMA read bytes; 3840 B reproduces the 2.4 GB/s host
+  /// memory read of Table I on the Gen2 x8 slot.
+  std::uint32_t host_read_window = 3840;
+  Time tx_packet_overhead = units::ns(300);   ///< per-packet injection logic
+
+  // --- GPU-buffer transmission (GPU_P2P_TX) ---------------------------------
+  P2pTxVersion p2p_tx_version = P2pTxVersion::kV3;
+  std::uint32_t p2p_request_bytes = 512;  ///< read granule (32 B descriptor)
+  Time p2p_request_interval = units::ns(80);  ///< HW issue pace (V2/V3)
+  std::uint32_t p2p_prefetch_window = 128 * 1024;
+  std::uint32_t p2p_descriptor_bytes = 32;
+
+  // --- FIFOs ---------------------------------------------------------------
+  std::uint32_t tx_fifo_bytes = 32 * 1024;      ///< host TX data FIFO
+  std::uint32_t gpu_tx_fifo_bytes = 32 * 1024;  ///< GPU TX data FIFO
+
+  // --- receive path -----------------------------------------------------------
+  Time rx_event_delivery = units::us(0.25);  ///< completion -> host library
+  NiosCosts nios;
+
+  /// Test hook: drop packets at the internal switch ("flushing TX
+  /// injection FIFOs", used by the paper for pure memory-read bandwidth).
+  bool flush_at_switch = false;
+
+  double torus_bytes_per_sec() const {
+    return units::Gbps(torus_link_gbps);
+  }
+};
+
+}  // namespace apn::core

@@ -1,0 +1,110 @@
+// 3D torus topology and APEnet+'s dimension-ordered static routing.
+//
+// The router resolves the X displacement first, then Y, then Z, always
+// taking the minimal wrap-around direction (ties broken toward the
+// positive port). This is the classic deadlock-free e-cube scheme the
+// APEnet+ Router block implements.
+#pragma once
+
+#include <array>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "common/table.hpp"
+
+namespace apn::core {
+
+struct TorusCoord {
+  int x = 0, y = 0, z = 0;
+  bool operator==(const TorusCoord&) const = default;
+};
+
+enum class TorusPort : int {
+  kXplus = 0,
+  kXminus = 1,
+  kYplus = 2,
+  kYminus = 3,
+  kZplus = 4,
+  kZminus = 5,
+  kLocal = 6,
+};
+constexpr int kTorusPorts = 6;
+
+inline const char* port_name(TorusPort p) {
+  switch (p) {
+    case TorusPort::kXplus: return "X+";
+    case TorusPort::kXminus: return "X-";
+    case TorusPort::kYplus: return "Y+";
+    case TorusPort::kYminus: return "Y-";
+    case TorusPort::kZplus: return "Z+";
+    case TorusPort::kZminus: return "Z-";
+    case TorusPort::kLocal: return "local";
+  }
+  return "?";
+}
+
+struct TorusShape {
+  int nx = 1, ny = 1, nz = 1;
+
+  int size() const { return nx * ny * nz; }
+
+  int index(TorusCoord c) const { return (c.z * ny + c.y) * nx + c.x; }
+
+  TorusCoord coord(int idx) const {
+    if (idx < 0 || idx >= size()) throw std::out_of_range("torus index");
+    return TorusCoord{idx % nx, (idx / nx) % ny, idx / (nx * ny)};
+  }
+
+  bool contains(TorusCoord c) const {
+    return c.x >= 0 && c.x < nx && c.y >= 0 && c.y < ny && c.z >= 0 &&
+           c.z < nz;
+  }
+
+  /// Signed minimal displacement along one ring of length n (ties -> +).
+  static int ring_delta(int from, int to, int n) {
+    int d = (to - from) % n;
+    if (d < 0) d += n;          // d in [0, n)
+    if (2 * d > n) d -= n;      // minimal direction; tie (2d == n) stays +
+    return d;
+  }
+
+  /// Next output port under dimension-ordered routing, or kLocal.
+  TorusPort route_next(TorusCoord here, TorusCoord dst) const {
+    int dx = ring_delta(here.x, dst.x, nx);
+    if (dx != 0) return dx > 0 ? TorusPort::kXplus : TorusPort::kXminus;
+    int dy = ring_delta(here.y, dst.y, ny);
+    if (dy != 0) return dy > 0 ? TorusPort::kYplus : TorusPort::kYminus;
+    int dz = ring_delta(here.z, dst.z, nz);
+    if (dz != 0) return dz > 0 ? TorusPort::kZplus : TorusPort::kZminus;
+    return TorusPort::kLocal;
+  }
+
+  /// Neighbor coordinate through a port (with wrap-around).
+  TorusCoord neighbor(TorusCoord c, TorusPort p) const {
+    auto wrap = [](int v, int n) { return ((v % n) + n) % n; };
+    switch (p) {
+      case TorusPort::kXplus: c.x = wrap(c.x + 1, nx); break;
+      case TorusPort::kXminus: c.x = wrap(c.x - 1, nx); break;
+      case TorusPort::kYplus: c.y = wrap(c.y + 1, ny); break;
+      case TorusPort::kYminus: c.y = wrap(c.y - 1, ny); break;
+      case TorusPort::kZplus: c.z = wrap(c.z + 1, nz); break;
+      case TorusPort::kZminus: c.z = wrap(c.z - 1, nz); break;
+      case TorusPort::kLocal: break;
+    }
+    return c;
+  }
+
+  /// Number of link hops between two nodes under minimal routing.
+  int hop_count(TorusCoord a, TorusCoord b) const {
+    return std::abs(ring_delta(a.x, b.x, nx)) +
+           std::abs(ring_delta(a.y, b.y, ny)) +
+           std::abs(ring_delta(a.z, b.z, nz));
+  }
+};
+
+inline std::string coord_str(TorusCoord c) {
+  return strf("(%d,%d,%d)", c.x, c.y, c.z);
+}
+
+}  // namespace apn::core

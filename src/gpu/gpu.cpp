@@ -1,0 +1,157 @@
+#include "gpu/gpu.hpp"
+
+#include <utility>
+
+namespace apn::gpu {
+
+Gpu::Gpu(sim::Simulator& sim, pcie::Fabric& fabric, GpuArch arch,
+         std::uint64_t mmio_base)
+    : sim_(&sim),
+      fabric_(&fabric),
+      arch_(std::move(arch)),
+      mem_(arch_.mem_bytes),
+      alloc_(arch_.mem_bytes),
+      mmio_base_(mmio_base),
+      p2p_response_line_(sim),
+      bar1_line_(sim),
+      copy_d2h_(sim),
+      copy_h2d_(sim),
+      compute_(sim) {}
+
+std::uint64_t Gpu::bar1_map(std::uint64_t dev_offset, std::uint64_t size) {
+  if (bar1_used_ + size > arch_.bar1_aperture_bytes)
+    throw std::runtime_error("BAR1 aperture exhausted");
+  std::uint64_t aperture_off = bar1_used_;
+  bar1_used_ += (size + 0xFFFFull) & ~0xFFFFull;  // 64 KB granularity
+  bar1_maps_.push_back(Bar1Mapping{aperture_off, dev_offset, size});
+  return mmio_base_ + GpuMmio::kBar1Aperture + aperture_off;
+}
+
+void Gpu::bar1_reset() {
+  bar1_used_ = 0;
+  bar1_maps_.clear();
+}
+
+void Gpu::serve_p2p_request(const P2pReadDescriptor& desc) {
+  // The request mailbox has a finite queue (the "multiple-outstanding read
+  // request queue" of Fig. 2); requests beyond the depth wait until a
+  // completion frees a slot.
+  if (p2p_queue_depth_ >= arch_.p2p_max_outstanding) {
+    p2p_backlog_.push_back(desc);
+    return;
+  }
+  ++p2p_requests_;
+  p2p_bytes_ += desc.len;
+  ++p2p_queue_depth_;
+  // First data lags the request by the head latency; once flowing, the
+  // response engine streams at the architectural P2P rate. Head latencies
+  // of back-to-back requests overlap (the engine pipelines), which is what
+  // makes prefetching effective for the requester. Responses are emitted
+  // as 512 B completion writes, so large (V1-style 4 KB) requests overlap
+  // their own PCIe serialization with the response streaming.
+  sim_->after(arch_.p2p_head_latency, [this, desc] {
+    constexpr std::uint32_t kCompletion = 512;
+    std::uint32_t off = 0;
+    while (off < desc.len) {
+      const std::uint32_t sub = std::min(kCompletion, desc.len - off);
+      const bool last = off + sub >= desc.len;
+      Time stream_time = units::transfer_time(sub, arch_.effective_p2p_rate());
+      p2p_response_line_.post(stream_time, [this, desc, off, sub, last] {
+        if (last) {
+          --p2p_queue_depth_;
+          if (!p2p_backlog_.empty()) {
+            P2pReadDescriptor next = p2p_backlog_.front();
+            p2p_backlog_.pop_front();
+            serve_p2p_request(next);
+          }
+        }
+        pcie::Payload p;
+        p.bytes = sub;
+        p.data.resize(sub);
+        mem_.read(desc.dev_offset + off, std::span<std::uint8_t>(p.data));
+        fabric_->post_write(*this, desc.reply_addr, std::move(p));
+      });
+      off += sub;
+    }
+  });
+}
+
+void Gpu::handle_write(std::uint64_t addr, pcie::Payload payload) {
+  const std::uint64_t off = addr - mmio_base_;
+
+  if (off == GpuMmio::kMailbox) {
+    P2pReadDescriptor desc{};
+    if (payload.data.size() >= sizeof(desc)) {
+      std::memcpy(&desc, payload.data.data(), sizeof(desc));
+      serve_p2p_request(desc);
+    }
+    return;
+  }
+
+  if (off == GpuMmio::kWindowCtl) {
+    if (payload.data.size() >= sizeof(std::uint64_t)) {
+      std::memcpy(&window_page_, payload.data.data(), sizeof(window_page_));
+      ++window_switches_;
+    }
+    return;
+  }
+
+  if (off >= GpuMmio::kWindowAperture &&
+      off < GpuMmio::kWindowAperture + GpuMmio::kWindowBytes) {
+    if (!payload.data.empty()) {
+      std::uint64_t dev_off = window_page_ + (off - GpuMmio::kWindowAperture);
+      mem_.write(dev_off, std::span<const std::uint8_t>(payload.data));
+    }
+    return;
+  }
+
+  if (off >= GpuMmio::kBar1Aperture) {
+    std::uint64_t ap = off - GpuMmio::kBar1Aperture;
+    for (const Bar1Mapping& m : bar1_maps_) {
+      if (ap >= m.aperture_off && ap - m.aperture_off < m.size) {
+        if (!payload.data.empty())
+          mem_.write(m.dev_offset + (ap - m.aperture_off),
+                     std::span<const std::uint8_t>(payload.data));
+        return;
+      }
+    }
+  }
+  // Writes to unmapped space are dropped (master abort), as on hardware.
+}
+
+void Gpu::handle_read(std::uint64_t addr, std::uint32_t len,
+                      std::function<void(pcie::Payload)> reply) {
+  const std::uint64_t off = addr - mmio_base_;
+  if (off >= GpuMmio::kBar1Aperture) {
+    std::uint64_t ap = off - GpuMmio::kBar1Aperture;
+    for (const Bar1Mapping& m : bar1_maps_) {
+      if (ap >= m.aperture_off && ap - m.aperture_off < m.size) {
+        std::uint64_t dev_off = m.dev_offset + (ap - m.aperture_off);
+        // Head latency pipelines across outstanding reads; completion
+        // generation serializes at the BAR1 read rate (the Fermi
+        // 150 MB/s bottleneck).
+        Time stream =
+            units::transfer_time(len, arch_.effective_bar1_read_rate());
+        sim_->after(arch_.bar1_read_latency, [this, dev_off, len, stream,
+                                              reply = std::move(reply)] {
+          bar1_line_.post(stream,
+                          [this, dev_off, len, reply = std::move(reply)] {
+                            pcie::Payload p;
+                            p.bytes = len;
+                            p.data.resize(len);
+                            mem_.read(dev_off,
+                                      std::span<std::uint8_t>(p.data));
+                            reply(std::move(p));
+                          });
+        });
+        return;
+      }
+    }
+  }
+  // Reads of unmapped space complete with zeros after a nominal delay.
+  sim_->after(units::ns(400), [len, reply = std::move(reply)] {
+    reply(pcie::Payload::timing(len));
+  });
+}
+
+}  // namespace apn::gpu

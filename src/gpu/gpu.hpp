@@ -1,0 +1,134 @@
+// Gpu: a PCIe endpoint modeling an NVIDIA Fermi/Kepler board as seen by
+// third-party devices and by the (simulated) CUDA runtime.
+//
+// Exposed hardware interfaces (the paper's §III background):
+//  * GPUDirect peer-to-peer protocol: a request mailbox that third-party
+//    devices write read-descriptors into; the GPU answers with *posted
+//    writes* of the data to the descriptor's reply address (the two-way
+//    protocol that works around chipset bugs with inter-device read
+//    completions). Response streaming is bounded by `p2p_stream_rate`
+//    (the architectural ~1.5 GB/s Fermi ceiling) and the first response of
+//    a request lags it by `p2p_head_latency`.
+//  * A P2P *write* window: a sliding 64 KB aperture + window control
+//    register, used by the NIC's RX path to write GPU memory; switching
+//    the window costs an extra control write (the paper's ~10% RX penalty).
+//  * BAR1: a mappable aperture readable/writable with plain PCIe memory
+//    operations; read-completion generation is rate-limited (150 MB/s on
+//    Fermi, ~1.6 GB/s on Kepler).
+//  * DMA copy engines used by cudaMemcpy (not routed through the fabric;
+//    see DESIGN.md "known deviations").
+//  * A compute engine for kernel-duration modeling.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <span>
+#include <stdexcept>
+
+#include "gpu/arch.hpp"
+#include "gpu/device_memory.hpp"
+#include "pcie/fabric.hpp"
+#include "sim/resource.hpp"
+#include "sim/simulator.hpp"
+
+namespace apn::gpu {
+
+/// Descriptor written into the P2P mailbox by a third-party device.
+/// 32 bytes on the wire (matches the paper's ~96 MB/s protocol traffic at
+/// 1.5 GB/s data rate with 512 B read granularity).
+struct P2pReadDescriptor {
+  std::uint64_t dev_offset;  ///< source address in GPU global memory
+  std::uint32_t len;         ///< bytes requested
+  std::uint32_t pad;
+  std::uint64_t reply_addr;  ///< PCIe address the data is written back to
+  std::uint64_t tag;         ///< opaque requester cookie (echoed, unused here)
+};
+static_assert(sizeof(P2pReadDescriptor) == 32);
+
+/// MMIO layout offsets relative to the GPU's register BAR.
+struct GpuMmio {
+  static constexpr std::uint64_t kMailbox = 0x000000;
+  static constexpr std::uint64_t kWindowCtl = 0x010000;
+  static constexpr std::uint64_t kWindowAperture = 0x020000;
+  static constexpr std::uint64_t kWindowBytes = 64 * 1024;
+  static constexpr std::uint64_t kBar1Aperture = 0x100000;
+};
+
+class Gpu : public pcie::Device {
+ public:
+  Gpu(sim::Simulator& sim, pcie::Fabric& fabric, GpuArch arch,
+      std::uint64_t mmio_base);
+
+  const GpuArch& arch() const { return arch_; }
+  DeviceMemory& memory() { return mem_; }
+  const DeviceMemory& memory() const { return mem_; }
+  DeviceAllocator& allocator() { return alloc_; }
+
+  std::uint64_t mmio_base() const { return mmio_base_; }
+  std::uint64_t mmio_size() const {
+    return GpuMmio::kBar1Aperture + arch_.bar1_aperture_bytes;
+  }
+  std::uint64_t mailbox_addr() const { return mmio_base_ + GpuMmio::kMailbox; }
+  std::uint64_t window_ctl_addr() const {
+    return mmio_base_ + GpuMmio::kWindowCtl;
+  }
+  std::uint64_t window_aperture_addr() const {
+    return mmio_base_ + GpuMmio::kWindowAperture;
+  }
+
+  // ---- BAR1 management (driven by the simcuda runtime) -------------------
+  /// Map device memory [dev_offset, +size) into the BAR1 aperture; returns
+  /// the PCIe address of the mapping. Throws if the aperture is exhausted.
+  std::uint64_t bar1_map(std::uint64_t dev_offset, std::uint64_t size);
+  void bar1_reset();
+  std::uint64_t bar1_mapped_bytes() const { return bar1_used_; }
+
+  // ---- copy engines (used by the simcuda runtime) -------------------------
+  sim::Resource& copy_engine_d2h() { return copy_d2h_; }
+  sim::Resource& copy_engine_h2d() { return copy_h2d_; }
+  sim::Resource& compute_engine() { return compute_; }
+
+  // ---- statistics -----------------------------------------------------------
+  std::uint64_t p2p_requests_served() const { return p2p_requests_; }
+  int p2p_queue_depth() const { return p2p_queue_depth_; }
+  std::uint64_t p2p_bytes_served() const { return p2p_bytes_; }
+  std::uint64_t window_switches() const { return window_switches_; }
+
+  // ---- pcie::Device ----------------------------------------------------------
+  void handle_write(std::uint64_t addr, pcie::Payload payload) override;
+  void handle_read(std::uint64_t addr, std::uint32_t len,
+                   std::function<void(pcie::Payload)> reply) override;
+
+ private:
+  void serve_p2p_request(const P2pReadDescriptor& desc);
+
+  sim::Simulator* sim_;
+  pcie::Fabric* fabric_;
+  GpuArch arch_;
+  DeviceMemory mem_;
+  DeviceAllocator alloc_;
+  std::uint64_t mmio_base_;
+
+  sim::Resource p2p_response_line_;  ///< serializes P2P response streaming
+  sim::Resource bar1_line_;          ///< serializes BAR1 read completions
+  sim::Resource copy_d2h_;
+  sim::Resource copy_h2d_;
+  sim::Resource compute_;
+
+  std::uint64_t window_page_ = 0;  ///< current P2P write-window target
+  std::uint64_t bar1_used_ = 0;
+  struct Bar1Mapping {
+    std::uint64_t aperture_off, dev_offset, size;
+  };
+  std::vector<Bar1Mapping> bar1_maps_;
+
+  std::uint64_t p2p_requests_ = 0;
+  std::uint64_t p2p_bytes_ = 0;
+  std::uint64_t window_switches_ = 0;
+  int p2p_queue_depth_ = 0;
+  std::deque<P2pReadDescriptor> p2p_backlog_;  ///< beyond the queue depth
+};
+
+}  // namespace apn::gpu

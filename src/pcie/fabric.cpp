@@ -1,0 +1,200 @@
+#include "pcie/fabric.hpp"
+
+#include <cassert>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+namespace apn::pcie {
+
+int Fabric::add_root(const std::string& name) {
+  if (root_ >= 0) throw std::logic_error("fabric already has a root");
+  nodes_.push_back(Node{name, -1, -1, 0, nullptr});
+  root_ = static_cast<int>(nodes_.size()) - 1;
+  return root_;
+}
+
+int Fabric::new_node(const std::string& name, int parent, LinkParams link) {
+  if (parent < 0 || parent >= static_cast<int>(nodes_.size()))
+    throw std::out_of_range("invalid parent node");
+  Node node;
+  node.name = name;
+  node.parent = parent;
+  node.depth = nodes_[parent].depth + 1;
+
+  Edge edge;
+  edge.up_node = parent;
+  edge.down_node = static_cast<int>(nodes_.size());
+  edge.link = link;
+  sim::ChannelParams cp;
+  cp.bytes_per_sec = link.raw_bytes_per_sec();
+  cp.per_send_overhead = 0;  // TLP overhead charged via wire_bytes()
+  cp.latency = link.hop_latency;
+  edge.up = std::make_unique<sim::Channel>(*sim_, cp);
+  edge.down = std::make_unique<sim::Channel>(*sim_, cp);
+
+  edges_.push_back(std::move(edge));
+  node.parent_edge = static_cast<int>(edges_.size()) - 1;
+  nodes_.push_back(std::move(node));
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+int Fabric::add_switch(int parent, LinkParams link, const std::string& name) {
+  return new_node(name, parent, link);
+}
+
+int Fabric::attach(Device& dev, int parent, LinkParams link) {
+  int id = new_node(dev.pcie_name_.empty() ? "dev" : dev.pcie_name_, parent,
+                    link);
+  nodes_[id].dev = &dev;
+  dev.pcie_node_ = id;
+  if (dev.pcie_name_.empty()) dev.pcie_name_ = nodes_[id].name;
+  return id;
+}
+
+void Fabric::claim_range(Device& dev, std::uint64_t base, std::uint64_t size) {
+  ranges_.push_back(Range{base, size, &dev});
+}
+
+void Fabric::set_default_target(Device& dev) { default_target_ = &dev; }
+
+void Fabric::attach_analyzer(int node, BusAnalyzer& analyzer) {
+  if (node < 0 || node >= static_cast<int>(nodes_.size()) ||
+      nodes_[node].parent_edge < 0)
+    throw std::out_of_range("cannot attach analyzer: node has no uplink");
+  edges_[nodes_[node].parent_edge].analyzer = &analyzer;
+}
+
+Device* Fabric::route(std::uint64_t addr) const {
+  for (const Range& r : ranges_)
+    if (addr >= r.base && addr - r.base < r.size) return r.dev;
+  return default_target_;
+}
+
+std::vector<Fabric::Hop> Fabric::path(int from, int to) const {
+  std::vector<Hop> up_part;    // edges climbed from `from`
+  std::vector<Hop> down_part;  // edges descended to `to` (collected reversed)
+  int a = from, b = to;
+  while (a != b) {
+    if (nodes_[a].depth >= nodes_[b].depth) {
+      up_part.push_back(Hop{nodes_[a].parent_edge, false});
+      a = nodes_[a].parent;
+    } else {
+      down_part.push_back(Hop{nodes_[b].parent_edge, true});
+      b = nodes_[b].parent;
+    }
+  }
+  for (auto it = down_part.rbegin(); it != down_part.rend(); ++it)
+    up_part.push_back(*it);
+  return up_part;
+}
+
+Time Fabric::path_latency(const Device& a, const Device& b) const {
+  Time total = 0;
+  for (const Hop& h : path(a.pcie_node(), b.pcie_node()))
+    total += edges_[h.edge].link.hop_latency;
+  return total;
+}
+
+namespace {
+/// Shared state of one chunked transfer.
+struct Xfer {
+  std::uint64_t addr;
+  Payload payload;
+  std::uint64_t delivered_bytes = 0;
+  std::function<void(Payload)> done;
+};
+
+Payload slice(const Payload& p, std::uint64_t offset, std::uint32_t len) {
+  Payload out;
+  out.bytes = len;
+  if (!p.data.empty()) {
+    out.data.assign(p.data.begin() + static_cast<std::ptrdiff_t>(offset),
+                    p.data.begin() + static_cast<std::ptrdiff_t>(offset + len));
+  }
+  return out;
+}
+}  // namespace
+
+void Fabric::send_chunks(const std::vector<Hop>& hops, BusEvent::Kind kind,
+                         std::uint64_t addr, Payload payload,
+                         std::function<void(Payload)> on_delivered) {
+  auto xfer = std::make_shared<Xfer>();
+  xfer->addr = addr;
+  xfer->payload = std::move(payload);
+  xfer->done = std::move(on_delivered);
+
+  const std::uint64_t total = xfer->payload.bytes;
+  std::uint64_t offset = 0;
+  // Zero-length transactions (read requests) still send one header chunk.
+  do {
+    const std::uint32_t chunk = static_cast<std::uint32_t>(
+        total - offset < chunk_bytes_ ? total - offset : chunk_bytes_);
+    // Recursive hop-forwarding closure for this chunk.
+    auto forward = std::make_shared<std::function<void(std::size_t)>>();
+    *forward = [this, hops, kind, xfer, offset, chunk, total,
+                forward](std::size_t hop_idx) {
+      if (hop_idx == hops.size()) {
+        // Chunk fully arrived at the target end.
+        xfer->delivered_bytes += chunk;
+        const bool last =
+            (total == 0) || (xfer->delivered_bytes >= total);
+        if (kind == BusEvent::Kind::kWrite) {
+          Device* target = route(xfer->addr + offset);
+          if (target != nullptr)
+            target->handle_write(xfer->addr + offset,
+                                 slice(xfer->payload, offset, chunk));
+        }
+        if (last && xfer->done) xfer->done(std::move(xfer->payload));
+        return;
+      }
+      const Hop& h = hops[hop_idx];
+      Edge& e = edges_[static_cast<std::size_t>(h.edge)];
+      sim::Channel& ch = h.downstream ? *e.down : *e.up;
+      ch.send(e.link.wire_bytes(chunk), [this, &e, h, kind, xfer, offset,
+                                         chunk, forward, hop_idx] {
+        if (e.analyzer != nullptr)
+          e.analyzer->record(BusEvent{sim_->now(), kind, xfer->addr + offset,
+                                      chunk, h.downstream});
+        (*forward)(hop_idx + 1);
+      });
+    };
+    (*forward)(0);
+    offset += chunk;
+  } while (offset < total);
+}
+
+void Fabric::post_write(const Device& src, std::uint64_t addr, Payload payload,
+                        std::function<void()> on_delivered) {
+  Device* target = route(addr);
+  if (target == nullptr) throw std::runtime_error("unroutable write address");
+  auto hops = path(src.pcie_node(), target->pcie_node());
+  send_chunks(hops, BusEvent::Kind::kWrite, addr, std::move(payload),
+              [cb = std::move(on_delivered)](Payload) {
+                if (cb) cb();
+              });
+}
+
+void Fabric::read(const Device& src, std::uint64_t addr, std::uint32_t len,
+                  std::function<void(Payload)> on_complete) {
+  Device* target = route(addr);
+  if (target == nullptr) throw std::runtime_error("unroutable read address");
+  auto req_hops = path(src.pcie_node(), target->pcie_node());
+  auto rsp_hops = path(target->pcie_node(), src.pcie_node());
+
+  // Read request: a header-only TLP travelling to the target.
+  send_chunks(
+      req_hops, BusEvent::Kind::kReadReq, addr, Payload::timing(0),
+      [this, target, addr, len, rsp_hops = std::move(rsp_hops),
+       on_complete = std::move(on_complete)](Payload) mutable {
+        target->handle_read(
+            addr, len,
+            [this, addr, rsp_hops = std::move(rsp_hops),
+             on_complete = std::move(on_complete)](Payload data) mutable {
+              send_chunks(rsp_hops, BusEvent::Kind::kCompletion, addr,
+                          std::move(data), std::move(on_complete));
+            });
+      });
+}
+
+}  // namespace apn::pcie

@@ -1,0 +1,187 @@
+// PCIe fabric: a tree of root complex / switches / endpoint devices with
+// address-routed memory writes and reads.
+//
+// Topology is a tree (as on real machines): the root complex at the top,
+// switches below it, devices at the leaves. Each edge carries two
+// `sim::Channel`s (upstream/downstream). Transfers are chunked (default
+// 4 KB); a chunk is forwarded hop-by-hop with chained callbacks, so chunks
+// of one transfer pipeline across hops and independent transfers contend
+// for shared links naturally.
+//
+// Functional semantics: MemWr carries payload bytes that are handed to the
+// target device's handle_write(); MemRd invokes handle_read() on the target,
+// which replies with data that streams back to the requester. Timing-only
+// payloads (no data) are supported for pure-bandwidth benches.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "pcie/link.hpp"
+#include "sim/channel.hpp"
+#include "sim/simulator.hpp"
+
+namespace apn::pcie {
+
+class Fabric;
+
+/// Payload of a memory transaction. `data` may be empty for timing-only
+/// transfers; `bytes` is always the authoritative size.
+struct Payload {
+  std::uint64_t bytes = 0;
+  std::vector<std::uint8_t> data;  // empty => timing-only
+
+  static Payload timing(std::uint64_t n) { return Payload{n, {}}; }
+  static Payload of(std::vector<std::uint8_t> d) {
+    Payload p;
+    p.bytes = d.size();
+    p.data = std::move(d);
+    return p;
+  }
+};
+
+/// A PCIe function that can be the *target* of memory transactions.
+/// Devices initiate transactions through the Fabric using their node id.
+class Device {
+ public:
+  virtual ~Device() = default;
+
+  /// A posted write has fully arrived at this device.
+  virtual void handle_write(std::uint64_t addr, Payload payload) = 0;
+
+  /// A read request arrived; the device must eventually call `reply` with
+  /// the data (the fabric streams the completion back to the requester).
+  /// The delay before calling reply models the device's internal latency.
+  virtual void handle_read(std::uint64_t addr, std::uint32_t len,
+                           std::function<void(Payload)> reply) = 0;
+
+  const std::string& pcie_name() const { return pcie_name_; }
+  int pcie_node() const { return pcie_node_; }
+
+ private:
+  friend class Fabric;
+  std::string pcie_name_;
+  int pcie_node_ = -1;
+};
+
+/// Transaction record captured by a BusAnalyzer interposer.
+struct BusEvent {
+  Time time;              ///< delivery time of the chunk at the far edge end
+  enum class Kind { kWrite, kReadReq, kCompletion } kind;
+  std::uint64_t addr;
+  std::uint32_t bytes;
+  bool downstream;        ///< true if moving away from the root
+};
+
+/// Passive interposer attached to one edge; records every chunk crossing it.
+/// Mirrors the PCIe active interposer used for the paper's Fig. 3.
+class BusAnalyzer {
+ public:
+  void record(BusEvent ev) { events_.push_back(ev); }
+  const std::vector<BusEvent>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+ private:
+  std::vector<BusEvent> events_;
+};
+
+class Fabric {
+ public:
+  explicit Fabric(sim::Simulator& sim, std::uint32_t chunk_bytes = 4096)
+      : sim_(&sim), chunk_bytes_(chunk_bytes) {}
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  sim::Simulator& simulator() { return *sim_; }
+
+  // ---- topology construction -------------------------------------------
+  /// Create the root complex; returns its node id. Must be called first.
+  int add_root(const std::string& name = "root");
+
+  /// Add a switch below `parent`, connected with `link`.
+  int add_switch(int parent, LinkParams link,
+                 const std::string& name = "switch");
+
+  /// Attach an endpoint device below `parent`, connected with `link`.
+  int attach(Device& dev, int parent, LinkParams link);
+
+  /// Register an MMIO/memory address range owned by `dev`.
+  void claim_range(Device& dev, std::uint64_t base, std::uint64_t size);
+
+  /// Device receiving all writes/reads not claimed by any range
+  /// (i.e. host DRAM behind the root complex). Must itself be attached
+  /// or be the root-resident memory controller (node id of root).
+  void set_default_target(Device& dev);
+
+  /// Attach a bus analyzer to the edge directly above `node`.
+  void attach_analyzer(int node, BusAnalyzer& analyzer);
+
+  // ---- transactions ------------------------------------------------------
+  /// Posted memory write from `src` device to `addr`. `on_delivered` fires
+  /// when the last chunk reaches the target (after handle_write ran).
+  void post_write(const Device& src, std::uint64_t addr, Payload payload,
+                  std::function<void()> on_delivered = {});
+
+  /// Memory read: request travels to the target; target replies via
+  /// handle_read; completion data streams back. `on_complete` receives the
+  /// full data once the last completion chunk arrives at `src`.
+  void read(const Device& src, std::uint64_t addr, std::uint32_t len,
+            std::function<void(Payload)> on_complete);
+
+  /// Route lookup (target device for an address); nullptr if unroutable.
+  Device* route(std::uint64_t addr) const;
+
+  /// One-way fabric latency between two attached devices (sum of hop
+  /// latencies), useful for model sanity checks.
+  Time path_latency(const Device& a, const Device& b) const;
+
+  std::uint32_t chunk_bytes() const { return chunk_bytes_; }
+
+ private:
+  struct Node {
+    std::string name;
+    int parent = -1;       // node id
+    int parent_edge = -1;  // edge id
+    int depth = 0;
+    Device* dev = nullptr;  // endpoints only
+  };
+  struct Edge {
+    int up_node;    // closer to root
+    int down_node;  // further from root
+    LinkParams link;
+    std::unique_ptr<sim::Channel> up;    // down_node -> up_node
+    std::unique_ptr<sim::Channel> down;  // up_node -> down_node
+    BusAnalyzer* analyzer = nullptr;
+  };
+  struct Range {
+    std::uint64_t base, size;
+    Device* dev;
+  };
+  /// One hop of a precomputed path.
+  struct Hop {
+    int edge;
+    bool downstream;  // direction of travel on this edge
+  };
+
+  int new_node(const std::string& name, int parent, LinkParams link);
+  std::vector<Hop> path(int from_node, int to_node) const;
+  void send_chunks(const std::vector<Hop>& hops, BusEvent::Kind kind,
+                   std::uint64_t addr, Payload payload,
+                   std::function<void(Payload)> on_delivered);
+
+  sim::Simulator* sim_;
+  std::uint32_t chunk_bytes_;
+  std::vector<Node> nodes_;
+  std::vector<Edge> edges_;
+  std::vector<Range> ranges_;
+  Device* default_target_ = nullptr;
+  int root_ = -1;
+  std::uint64_t next_read_tag_ = 1;
+};
+
+}  // namespace apn::pcie

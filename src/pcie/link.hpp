@@ -1,0 +1,62 @@
+// PCI Express link cost model.
+//
+// A link is characterized by generation and lane count. We charge, per TLP,
+// the real protocol overhead (header + sequence + LCRC + framing, plus an
+// amortized share of DLLP flow-control/ack traffic) on top of the payload,
+// at the post-encoding raw rate. Effective throughput therefore *emerges*
+// from max-payload-size and overhead, as it does on real hardware:
+//   Gen2 x8, MPS 256, 28 B overhead -> ~3.6 GB/s effective (4.0 GB/s raw).
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+
+namespace apn::pcie {
+
+struct LinkParams {
+  int gen = 2;        ///< PCIe generation (1, 2, 3)
+  int lanes = 8;      ///< x1/x4/x8/x16
+  std::uint32_t max_payload = 256;    ///< TLP max payload size (bytes)
+  std::uint32_t tlp_overhead = 28;    ///< per-TLP wire overhead (bytes)
+  Time hop_latency = units::ns(200);  ///< switch/RC forwarding latency
+
+  /// Post-8b/10b (Gen1/2) or post-128b/130b (Gen3) raw rate per direction.
+  double raw_bytes_per_sec() const {
+    double per_lane;
+    switch (gen) {
+      case 1: per_lane = 250e6; break;   // 2.5 GT/s, 8b/10b
+      case 2: per_lane = 500e6; break;   // 5.0 GT/s, 8b/10b
+      default: per_lane = 985e6; break;  // 8.0 GT/s, 128b/130b
+    }
+    return per_lane * lanes;
+  }
+
+  /// Wire bytes for a data transfer of `bytes` split into MPS-sized TLPs.
+  std::uint64_t wire_bytes(std::uint64_t bytes) const {
+    if (bytes == 0) return tlp_overhead;  // zero-length / header-only TLP
+    std::uint64_t tlps = (bytes + max_payload - 1) / max_payload;
+    return bytes + tlps * tlp_overhead;
+  }
+
+  /// Serialization time of a `bytes`-sized transfer on this link.
+  Time serialize_time(std::uint64_t bytes) const {
+    return units::transfer_time(wire_bytes(bytes), raw_bytes_per_sec());
+  }
+
+  /// Effective data rate once TLP overhead is accounted for.
+  double effective_bytes_per_sec() const {
+    double frac = static_cast<double>(max_payload) /
+                  static_cast<double>(max_payload + tlp_overhead);
+    return raw_bytes_per_sec() * frac;
+  }
+};
+
+/// Convenience presets.
+inline LinkParams gen2_x8() { return LinkParams{2, 8, 256, 28, units::ns(200)}; }
+inline LinkParams gen2_x4() { return LinkParams{2, 4, 256, 28, units::ns(200)}; }
+inline LinkParams gen2_x16() {
+  return LinkParams{2, 16, 256, 28, units::ns(200)};
+}
+
+}  // namespace apn::pcie

@@ -1,0 +1,87 @@
+// Host DRAM behind the root complex / integrated memory controller.
+//
+// Host buffers in the simulation are *real process memory*: registered
+// (pinned) regions are addressed by their actual pointer value, so a remote
+// RDMA PUT ends with bytes landing in the destination test buffer and
+// results can be validated end-to-end. Reads/writes outside any pinned
+// region are timing-only (they advance the clock but touch no data), which
+// keeps pure-bandwidth benches safe and cheap.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <map>
+
+#include "pcie/fabric.hpp"
+#include "sim/resource.hpp"
+
+namespace apn::pcie {
+
+struct HostMemoryParams {
+  double read_bytes_per_sec = 8e9;  ///< memory-controller completion rate
+  Time read_latency = units::ns(300);
+};
+
+class HostMemory : public Device {
+ public:
+  HostMemory(sim::Simulator& sim, HostMemoryParams params = {})
+      : sim_(&sim), params_(params), read_port_(sim) {}
+
+  /// Pin a region of process memory for device access (DMA-ability).
+  void pin(void* ptr, std::size_t len) {
+    pinned_[reinterpret_cast<std::uint64_t>(ptr)] = len;
+  }
+  void unpin(void* ptr) { pinned_.erase(reinterpret_cast<std::uint64_t>(ptr)); }
+  bool is_pinned(std::uint64_t addr, std::uint64_t len) const {
+    return find_pinned(addr, len) != nullptr;
+  }
+
+  void handle_write(std::uint64_t addr, Payload payload) override {
+    if (!payload.data.empty()) {
+      if (find_pinned(addr, payload.bytes) != nullptr) {
+        std::memcpy(reinterpret_cast<void*>(addr), payload.data.data(),
+                    payload.data.size());
+      }
+    }
+  }
+
+  void handle_read(std::uint64_t addr, std::uint32_t len,
+                   std::function<void(Payload)> reply) override {
+    // Access latency pipelines across outstanding reads (DRAM banks);
+    // completion generation serializes at the memory-port rate.
+    Time stream = units::transfer_time(len, params_.read_bytes_per_sec);
+    sim_->after(params_.read_latency, [this, addr, len, stream,
+                                       reply = std::move(reply)] {
+      read_port_.post(stream, [this, addr, len, reply = std::move(reply)] {
+        Payload p;
+        p.bytes = len;
+        if (find_pinned(addr, len) != nullptr) {
+          p.data.resize(len);
+          std::memcpy(p.data.data(), reinterpret_cast<const void*>(addr),
+                      len);
+        }
+        reply(std::move(p));
+      });
+    });
+  }
+
+ private:
+  /// Returns the pinned region containing [addr, addr+len), or nullptr.
+  const std::size_t* find_pinned(std::uint64_t addr,
+                                 std::uint64_t len) const {
+    auto it = pinned_.upper_bound(addr);
+    if (it == pinned_.begin()) return nullptr;
+    --it;
+    if (addr >= it->first && addr + len <= it->first + it->second)
+      return &it->second;
+    return nullptr;
+  }
+
+  sim::Simulator* sim_;
+  HostMemoryParams params_;
+  sim::Resource read_port_;
+  std::map<std::uint64_t, std::size_t> pinned_;
+};
+
+}  // namespace apn::pcie

@@ -1,0 +1,80 @@
+// Channel: a unidirectional, rate-limited pipe with per-chunk overhead and
+// propagation latency. One Channel models one direction of a physical link
+// (PCIe lane bundle, torus cable, IB port).
+//
+// Timing model per send of N bytes:
+//   serialization = per_send_overhead + N / bytes_per_sec   (FIFO, exclusive)
+//   delivery      = serialization completion + latency      (pipelined)
+// Multiple in-flight sends pipeline: the wire serializes them back-to-back
+// while earlier ones are still propagating.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/units.hpp"
+#include "sim/resource.hpp"
+#include "sim/simulator.hpp"
+
+namespace apn::sim {
+
+struct ChannelParams {
+  double bytes_per_sec = 1e9;  ///< payload serialization rate
+  Time per_send_overhead = 0;  ///< framing/TLP/DLLP overhead per send
+  Time latency = 0;            ///< propagation + pipeline latency
+};
+
+class Channel {
+ public:
+  Channel(Simulator& sim, ChannelParams params)
+      : sim_(&sim), params_(params), line_(sim) {}
+
+  const ChannelParams& params() const { return params_; }
+
+  /// Serialization time for a send of `bytes` (excludes latency/queueing).
+  Time serialization_time(std::uint64_t bytes) const {
+    return params_.per_send_overhead +
+           units::transfer_time(bytes, params_.bytes_per_sec);
+  }
+
+  /// Queue `bytes` for transmission; `delivered` fires at arrival time.
+  /// `serialized` (optional) fires when the payload has fully left the
+  /// sender — the point at which sender-side buffer space is reclaimable.
+  void send(std::uint64_t bytes, std::function<void()> delivered,
+            std::function<void()> serialized = {}) {
+    bytes_sent_ += bytes;
+    line_.post(serialization_time(bytes),
+               [this, delivered = std::move(delivered),
+                serialized = std::move(serialized)]() mutable {
+                 if (serialized) serialized();
+                 sim_->after(params_.latency, std::move(delivered));
+               });
+  }
+
+  /// Awaitable form: resumes when the payload has been *delivered*.
+  auto transfer(std::uint64_t bytes) {
+    struct Awaiter {
+      Channel& ch;
+      std::uint64_t n;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        ch.send(n, [h] { h.resume(); });
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, bytes};
+  }
+
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  double utilization() const { return line_.utilization(); }
+  bool busy() const { return line_.busy(); }
+  std::size_t queue_length() const { return line_.queue_length(); }
+
+ private:
+  Simulator* sim_;
+  ChannelParams params_;
+  Resource line_;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace apn::sim

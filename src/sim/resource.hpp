@@ -1,0 +1,94 @@
+// Resource: an exclusive serialized server with a FIFO queue.
+//
+// Models anything that processes one job at a time for a known duration:
+// the APEnet+ Nios II micro-controller, GPU DMA copy engines, the kernel
+// driver's descriptor push path. Jobs can be posted with a completion
+// callback or awaited from a coroutine. Utilization accounting is built in
+// so benches can report how busy a bottleneck device was.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <utility>
+
+#include "sim/simulator.hpp"
+
+namespace apn::sim {
+
+class Resource {
+ public:
+  explicit Resource(Simulator& sim) : sim_(&sim) {}
+  Resource(const Resource&) = delete;
+  Resource& operator=(const Resource&) = delete;
+
+  /// Enqueue a job taking `duration`; `done` fires when the job completes.
+  void post(Time duration, std::function<void()> done = {}) {
+    queue_.push_back(Job{duration, std::move(done)});
+    if (!busy_) start_next();
+  }
+
+  /// Awaitable form: suspends until the job has been serviced.
+  auto use(Time duration) {
+    struct Awaiter {
+      Resource& res;
+      Time dur;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        res.post(dur, [h] { h.resume(); });
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, duration};
+  }
+
+  bool busy() const { return busy_; }
+  std::size_t queue_length() const { return queue_.size(); }
+  Time busy_time() const { return busy_time_; }
+  std::uint64_t jobs_completed() const { return jobs_completed_; }
+
+  /// Fraction of [0, now] the server was busy.
+  double utilization() const {
+    Time now = sim_->now();
+    return now > 0 ? static_cast<double>(busy_time_) /
+                         static_cast<double>(now)
+                   : 0.0;
+  }
+
+  void reset_stats() {
+    busy_time_ = 0;
+    jobs_completed_ = 0;
+  }
+
+ private:
+  struct Job {
+    Time duration;
+    std::function<void()> done;
+  };
+
+  void start_next() {
+    if (queue_.empty()) return;
+    busy_ = true;
+    Job job = std::move(queue_.front());
+    queue_.pop_front();
+    busy_time_ += job.duration;
+    sim_->after(job.duration, [this, done = std::move(job.done)]() mutable {
+      ++jobs_completed_;
+      if (done) done();
+      if (!queue_.empty()) {
+        start_next();
+      } else {
+        busy_ = false;
+      }
+    });
+  }
+
+  Simulator* sim_;
+  bool busy_ = false;
+  Time busy_time_ = 0;
+  std::uint64_t jobs_completed_ = 0;
+  std::deque<Job> queue_;
+};
+
+}  // namespace apn::sim

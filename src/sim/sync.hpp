@@ -1,0 +1,267 @@
+// Synchronization primitives for simulation processes:
+//   Gate       — one-shot broadcast event (open() wakes all waiters)
+//   Future<T>  — one-shot event carrying a value (shared handle)
+//   Semaphore  — counting semaphore with FIFO wakeup
+//   CreditPool — weighted (byte-granularity) semaphore for flow control
+//   Queue<T>   — unbounded async message queue
+//
+// All wakeups are scheduled as simulator events (never resumed inline), so
+// process interleaving is deterministic and stack depth stays bounded.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "sim/coro.hpp"
+#include "sim/simulator.hpp"
+
+namespace apn::sim {
+
+/// One-shot broadcast event. Waiting on an already-open gate does not
+/// suspend. open() is idempotent.
+class Gate {
+ public:
+  explicit Gate(Simulator& sim) : sim_(&sim) {}
+  Gate(const Gate&) = delete;
+  Gate& operator=(const Gate&) = delete;
+
+  bool is_open() const { return open_; }
+
+  void open() {
+    if (open_) return;
+    open_ = true;
+    for (auto h : waiters_) sim_->after(0, [h] { h.resume(); });
+    waiters_.clear();
+  }
+
+  auto wait() {
+    struct Awaiter {
+      Gate& gate;
+      bool await_ready() const noexcept { return gate.open_; }
+      void await_suspend(std::coroutine_handle<> h) {
+        gate.waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  Simulator* sim_;
+  bool open_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// One-shot event carrying a value. Copyable shared handle: producer calls
+/// set(), any number of consumers co_await it (each receives a copy).
+template <typename T>
+class Future {
+ public:
+  explicit Future(Simulator& sim)
+      : state_(std::make_shared<State>(State{&sim, {}, {}})) {}
+
+  bool ready() const { return state_->value.has_value(); }
+
+  void set(T value) {
+    State& st = *state_;
+    if (st.value.has_value()) return;  // one-shot
+    st.value = std::move(value);
+    for (auto h : st.waiters) st.sim->after(0, [h] { h.resume(); });
+    st.waiters.clear();
+  }
+
+  /// Value access once ready.
+  const T& get() const { return *state_->value; }
+
+  auto operator co_await() {
+    struct Awaiter {
+      std::shared_ptr<State> st;
+      bool await_ready() const noexcept { return st->value.has_value(); }
+      void await_suspend(std::coroutine_handle<> h) {
+        st->waiters.push_back(h);
+      }
+      T await_resume() const { return *st->value; }
+    };
+    return Awaiter{state_};
+  }
+
+ private:
+  struct State {
+    Simulator* sim;
+    std::optional<T> value;
+    std::vector<std::coroutine_handle<>> waiters;
+  };
+  std::shared_ptr<State> state_;
+};
+
+/// Counting semaphore; acquire() suspends while the count is zero.
+/// Waiters are woken strictly FIFO.
+class Semaphore {
+ public:
+  Semaphore(Simulator& sim, std::int64_t initial)
+      : sim_(&sim), count_(initial) {}
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  std::int64_t available() const { return count_; }
+  std::size_t waiting() const { return waiters_.size(); }
+
+  auto acquire() {
+    struct Awaiter {
+      Semaphore& sem;
+      bool await_ready() const noexcept { return false; }
+      bool await_suspend(std::coroutine_handle<> h) {
+        if (sem.count_ > 0 && sem.waiters_.empty()) {
+          --sem.count_;
+          return false;  // resume immediately
+        }
+        sem.waiters_.push_back(h);
+        return true;
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+  /// Non-suspending acquire; returns false if no permit is available now.
+  bool try_acquire() {
+    if (count_ > 0 && waiters_.empty()) {
+      --count_;
+      return true;
+    }
+    return false;
+  }
+
+  void release() {
+    if (!waiters_.empty()) {
+      auto h = waiters_.front();
+      waiters_.pop_front();
+      sim_->after(0, [h] { h.resume(); });
+    } else {
+      ++count_;
+    }
+  }
+
+ private:
+  Simulator* sim_;
+  std::int64_t count_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// Weighted semaphore with FIFO ordering — models byte-granularity buffer
+/// space (e.g. the APEnet+ 32 KB TX FIFO). acquire(n) suspends until n units
+/// are free; head-of-line blocking is intentional (a FIFO cannot be
+/// overtaken by smaller packets).
+class CreditPool {
+ public:
+  CreditPool(Simulator& sim, std::int64_t capacity)
+      : sim_(&sim), capacity_(capacity), available_(capacity) {}
+  CreditPool(const CreditPool&) = delete;
+  CreditPool& operator=(const CreditPool&) = delete;
+
+  std::int64_t capacity() const { return capacity_; }
+  std::int64_t available() const { return available_; }
+  std::int64_t in_use() const { return capacity_ - available_; }
+
+  auto acquire(std::int64_t n) {
+    struct Awaiter {
+      CreditPool& pool;
+      std::int64_t need;
+      bool await_ready() const noexcept { return false; }
+      bool await_suspend(std::coroutine_handle<> h) {
+        if (pool.waiters_.empty() && pool.available_ >= need) {
+          pool.available_ -= need;
+          return false;
+        }
+        pool.waiters_.push_back(Waiter{need, h});
+        return true;
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, n};
+  }
+
+  void release(std::int64_t n) {
+    available_ += n;
+    while (!waiters_.empty() && waiters_.front().need <= available_) {
+      Waiter w = waiters_.front();
+      waiters_.pop_front();
+      available_ -= w.need;
+      sim_->after(0, [h = w.handle] { h.resume(); });
+    }
+  }
+
+ private:
+  struct Waiter {
+    std::int64_t need;
+    std::coroutine_handle<> handle;
+  };
+  Simulator* sim_;
+  std::int64_t capacity_;
+  std::int64_t available_;
+  std::deque<Waiter> waiters_;
+};
+
+/// Unbounded async FIFO queue. pop() suspends while empty; push() never
+/// suspends. Items pushed while waiters are suspended are delivered
+/// directly into the waiter's frame (never re-enqueued), so a concurrent
+/// pop() at the same tick cannot steal a woken waiter's item.
+///
+/// Invariant: waiters_ non-empty implies items_ empty.
+template <typename T>
+class Queue {
+ public:
+  explicit Queue(Simulator& sim) : sim_(&sim) {}
+  Queue(const Queue&) = delete;
+  Queue& operator=(const Queue&) = delete;
+
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+  void push(T item) {
+    if (!waiters_.empty()) {
+      Waiter w = waiters_.front();
+      waiters_.pop_front();
+      *w.slot = std::move(item);
+      sim_->after(0, [h = w.handle] { h.resume(); });
+      return;
+    }
+    items_.push_back(std::move(item));
+  }
+
+  auto pop() {
+    struct Awaiter {
+      Queue& q;
+      std::optional<T> item;
+      bool await_ready() {
+        if (!q.items_.empty()) {
+          item = std::move(q.items_.front());
+          q.items_.pop_front();
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        q.waiters_.push_back(Waiter{h, &item});
+      }
+      T await_resume() { return std::move(*item); }
+    };
+    return Awaiter{*this, std::nullopt};
+  }
+
+ private:
+  struct Waiter {
+    std::coroutine_handle<> handle;
+    std::optional<T>* slot;
+  };
+  Simulator* sim_;
+  std::deque<T> items_;
+  std::deque<Waiter> waiters_;
+};
+
+}  // namespace apn::sim

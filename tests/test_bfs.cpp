@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include "apps/bfs/bfs.hpp"
+
+namespace apn::apps::bfs {
+namespace {
+
+using cluster::Cluster;
+
+// ---------------------------------------------------------------------------
+// Graph machinery
+// ---------------------------------------------------------------------------
+
+TEST(Rmat, SizesMatchParameters) {
+  EdgeList el = rmat(10, 16, 1);
+  EXPECT_EQ(el.n_vertices, 1024u);
+  EXPECT_EQ(el.edges.size(), 16384u);
+  for (auto [u, v] : el.edges) {
+    EXPECT_LT(u, 1024u);
+    EXPECT_LT(v, 1024u);
+  }
+}
+
+TEST(Rmat, DeterministicForSeed) {
+  EdgeList a = rmat(8, 8, 3), b = rmat(8, 8, 3);
+  EXPECT_EQ(a.edges, b.edges);
+  EdgeList c = rmat(8, 8, 4);
+  EXPECT_NE(a.edges, c.edges);
+}
+
+TEST(Rmat, SkewedDegreeDistribution) {
+  EdgeList el = rmat(12, 16, 1);
+  Csr g(el);
+  std::uint32_t max_deg = 0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v)
+    max_deg = std::max(max_deg, g.degree(v));
+  // Power-law-ish: the hottest vertex is far above the mean degree (32).
+  EXPECT_GT(max_deg, 200u);
+}
+
+TEST(Csr, UndirectedAndSymmetric) {
+  EdgeList el;
+  el.n_vertices = 4;
+  el.edges = {{0, 1}, {1, 2}, {2, 2}, {0, 3}};  // one self-loop dropped
+  Csr g(el);
+  EXPECT_EQ(g.num_input_edges(), 3u);
+  EXPECT_EQ(g.num_directed_edges(), 6u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(2), 1u);
+  // Symmetry: w in adj(v) <=> v in adj(w).
+  for (Vertex v = 0; v < 4; ++v)
+    for (Vertex w : g.neighbors(v)) {
+      bool found = false;
+      for (Vertex x : g.neighbors(w))
+        if (x == v) found = true;
+      EXPECT_TRUE(found);
+    }
+}
+
+TEST(SequentialBfs, LevelsOnKnownGraph) {
+  EdgeList el;
+  el.n_vertices = 6;
+  el.edges = {{0, 1}, {1, 2}, {2, 3}, {0, 4}};  // 5 is isolated
+  Csr g(el);
+  auto lv = bfs_levels(g, 0);
+  EXPECT_EQ(lv[0], 0);
+  EXPECT_EQ(lv[1], 1);
+  EXPECT_EQ(lv[2], 2);
+  EXPECT_EQ(lv[3], 3);
+  EXPECT_EQ(lv[4], 1);
+  EXPECT_EQ(lv[5], kUnreached);
+}
+
+TEST(ValidateParents, AcceptsCorrectTree) {
+  EdgeList el = rmat(8, 8, 2);
+  Csr g(el);
+  Vertex root = pick_root(g, 1);
+  auto lv = bfs_levels(g, root);
+  // Build a parent tree from levels.
+  std::vector<std::int64_t> parents(g.num_vertices(), kUnreached);
+  parents[root] = root;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (lv[v] <= 0) continue;
+    for (Vertex w : g.neighbors(v))
+      if (lv[w] == lv[v] - 1) {
+        parents[v] = w;
+        break;
+      }
+  }
+  std::string err;
+  EXPECT_TRUE(validate_parents(g, root, parents, &err)) << err;
+}
+
+TEST(ValidateParents, RejectsBrokenTrees) {
+  EdgeList el;
+  el.n_vertices = 4;
+  el.edges = {{0, 1}, {1, 2}, {2, 3}};
+  Csr g(el);
+  std::vector<std::int64_t> parents = {0, 0, 1, 2};
+  EXPECT_TRUE(validate_parents(g, 0, parents));
+  // Parent edge not in graph.
+  std::vector<std::int64_t> bad1 = {0, 0, 0, 2};  // 2's parent 0: no edge
+  EXPECT_FALSE(validate_parents(g, 0, bad1));
+  // Root not its own parent.
+  std::vector<std::int64_t> bad2 = {1, 0, 1, 2};
+  EXPECT_FALSE(validate_parents(g, 0, bad2));
+  // Unreached vertex that the reference reaches.
+  std::vector<std::int64_t> bad3 = {0, 0, 1, kUnreached};
+  EXPECT_FALSE(validate_parents(g, 0, bad3));
+}
+
+TEST(TraversedEdges, CountsComponentEdgesOnce) {
+  EdgeList el;
+  el.n_vertices = 5;
+  el.edges = {{0, 1}, {1, 2}, {3, 4}};  // two components
+  Csr g(el);
+  auto lv = bfs_levels(g, 0);
+  EXPECT_EQ(traversed_edges(g, lv), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Distributed BFS through the full stack
+// ---------------------------------------------------------------------------
+
+class BfsNetTest : public ::testing::TestWithParam<std::pair<BfsNet, int>> {};
+
+TEST_P(BfsNetTest, ParentTreeValidatesEndToEnd) {
+  auto [net, np] = GetParam();
+  sim::Simulator sim;
+  std::unique_ptr<Cluster> c =
+      net == BfsNet::kIb
+          ? Cluster::make_cluster_ii(sim, np)
+          : Cluster::make_cluster_i(sim, np, core::ApenetParams{}, false);
+  BfsConfig cfg;
+  cfg.scale = 9;
+  cfg.edge_factor = 8;
+  cfg.net = net;
+  BfsRun run(*c, cfg);
+  BfsMetrics m = run.run();
+  EXPECT_TRUE(m.validated);
+  EXPECT_GT(m.teps, 0.0);
+  EXPECT_GT(m.levels, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NetsAndSizes, BfsNetTest,
+    ::testing::Values(std::make_pair(BfsNet::kApenet, 1),
+                      std::make_pair(BfsNet::kApenet, 2),
+                      std::make_pair(BfsNet::kApenet, 4),
+                      std::make_pair(BfsNet::kApenet, 8),
+                      std::make_pair(BfsNet::kIb, 2),
+                      std::make_pair(BfsNet::kIb, 4)),
+    [](const auto& info) {
+      return std::string(info.param.first == BfsNet::kApenet ? "Apenet"
+                                                             : "Ib") +
+             std::to_string(info.param.second);
+    });
+
+TEST(BfsRun, EdgesTraversedMatchesSequentialReference) {
+  sim::Simulator sim;
+  auto c = Cluster::make_cluster_i(sim, 2, core::ApenetParams{}, false);
+  BfsConfig cfg;
+  cfg.scale = 8;
+  cfg.edge_factor = 8;
+  BfsRun run(*c, cfg);
+  BfsMetrics m = run.run();
+  auto lv = bfs_levels(run.graph(), run.root());
+  EXPECT_EQ(m.edges_traversed, traversed_edges(run.graph(), lv));
+  std::int64_t max_level = 0;
+  for (auto l : lv) max_level = std::max(max_level, l);
+  EXPECT_EQ(m.levels, max_level + 1);
+}
+
+TEST(BfsRun, MultiRootHarmonicMean) {
+  sim::Simulator sim;
+  auto c = Cluster::make_cluster_i(sim, 2, core::ApenetParams{}, false);
+  BfsConfig cfg;
+  cfg.scale = 9;
+  cfg.edge_factor = 8;
+  BfsRun run(*c, cfg);
+  BfsSummary s = run.run_roots(4);
+  EXPECT_EQ(s.roots, 4);
+  EXPECT_TRUE(s.all_validated);
+  EXPECT_GT(s.min_teps, 0.0);
+  EXPECT_LE(s.min_teps, s.harmonic_mean_teps);
+  EXPECT_LE(s.harmonic_mean_teps, s.max_teps);
+  // Harmonic mean never exceeds the arithmetic mean.
+  EXPECT_LE(s.harmonic_mean_teps, (s.min_teps + s.max_teps));
+}
+
+TEST(BfsRun, DifferentRootsGiveDifferentTraversals) {
+  sim::Simulator sim;
+  auto c = Cluster::make_cluster_i(sim, 2, core::ApenetParams{}, false);
+  BfsConfig cfg;
+  cfg.scale = 9;
+  cfg.edge_factor = 8;
+  cfg.root_seed = 1;
+  BfsRun run(*c, cfg);
+  BfsMetrics a = run.run();
+  BfsSummary s = run.run_roots(3);
+  EXPECT_TRUE(s.all_validated);
+  (void)a;
+}
+
+TEST(BfsRun, CommTimeGrowsWithRanks) {
+  auto comm = [](int np) {
+    sim::Simulator sim;
+    auto c = Cluster::make_cluster_i(sim, np, core::ApenetParams{}, false);
+    BfsConfig cfg;
+    cfg.scale = 10;
+    cfg.edge_factor = 8;
+    BfsRun run(*c, cfg);
+    return run.run().comm_time;
+  };
+  EXPECT_GT(comm(4), 0);
+}
+
+}  // namespace
+}  // namespace apn::apps::bfs

@@ -1,0 +1,161 @@
+// Calibration acceptance tests: the headline numbers the paper reports,
+// with tolerances. These pin the model against Table I and the latency
+// figures so refactors can't silently drift the reproduction.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "cluster/harness.hpp"
+
+namespace apn {
+namespace {
+
+using cluster::Cluster;
+using cluster::TwoNodeOptions;
+using core::ApenetParams;
+using core::MemType;
+using units::us;
+
+TEST(Calibration, TwoNodeHostBandwidth_1200MBs) {
+  sim::Simulator sim;
+  auto c = Cluster::make_cluster_i(sim, 2, ApenetParams{}, false);
+  auto r = cluster::twonode_bandwidth(*c, 1 << 20, 48, TwoNodeOptions{});
+  EXPECT_GT(r.mbps, 1050.0);
+  EXPECT_LT(r.mbps, 1400.0);
+}
+
+TEST(Calibration, TwoNodeGGBandwidthPlateau_1100MBs) {
+  sim::Simulator sim;
+  auto c = Cluster::make_cluster_i(sim, 2, ApenetParams{}, false);
+  TwoNodeOptions gg;
+  gg.src_type = MemType::kGpu;
+  gg.dst_type = MemType::kGpu;
+  auto r = cluster::twonode_bandwidth(*c, 1 << 20, 32, gg);
+  EXPECT_GT(r.mbps, 900.0);
+  EXPECT_LT(r.mbps, 1300.0);
+}
+
+TEST(Calibration, LatencyHH_6_3us) {
+  sim::Simulator sim;
+  auto c = Cluster::make_cluster_i(sim, 2, ApenetParams{}, false);
+  Time lat = cluster::pingpong_latency(*c, 32, 100, TwoNodeOptions{});
+  EXPECT_GT(lat, us(5.0));
+  EXPECT_LT(lat, us(8.0));
+}
+
+TEST(Calibration, LatencyGGP2p_8_2us) {
+  sim::Simulator sim;
+  auto c = Cluster::make_cluster_i(sim, 2, ApenetParams{}, false);
+  TwoNodeOptions gg;
+  gg.src_type = MemType::kGpu;
+  gg.dst_type = MemType::kGpu;
+  Time lat = cluster::pingpong_latency(*c, 32, 100, gg);
+  EXPECT_GT(lat, us(6.8));
+  EXPECT_LT(lat, us(10.0));
+}
+
+TEST(Calibration, LatencyGGStaged_16_8us) {
+  sim::Simulator sim;
+  auto c = Cluster::make_cluster_i(sim, 2, ApenetParams{}, false);
+  TwoNodeOptions staged;
+  staged.src_type = MemType::kGpu;
+  staged.dst_type = MemType::kGpu;
+  staged.staged_tx = true;
+  staged.staged_rx = true;
+  Time lat = cluster::pingpong_latency(*c, 32, 100, staged);
+  EXPECT_GT(lat, us(14.0));
+  EXPECT_LT(lat, us(20.0));
+}
+
+TEST(Calibration, LatencyOrdering_P2pBeatsStagingBeatsNothing) {
+  // Fig. 9's qualitative statement: P2P ~ 50% lower latency than staging.
+  sim::Simulator s1, s2;
+  auto c1 = Cluster::make_cluster_i(s1, 2, ApenetParams{}, false);
+  auto c2 = Cluster::make_cluster_i(s2, 2, ApenetParams{}, false);
+  TwoNodeOptions gg;
+  gg.src_type = MemType::kGpu;
+  gg.dst_type = MemType::kGpu;
+  Time p2p = cluster::pingpong_latency(*c1, 1024, 60, gg);
+  TwoNodeOptions staged = gg;
+  staged.staged_tx = staged.staged_rx = true;
+  Time stg = cluster::pingpong_latency(*c2, 1024, 60, staged);
+  EXPECT_LT(static_cast<double>(p2p), 0.62 * static_cast<double>(stg));
+}
+
+TEST(Calibration, IbGGLatency_17us) {
+  sim::Simulator sim;
+  auto c = Cluster::make_cluster_ii(sim, 2);
+  Time lat = cluster::ib_gg_latency(*c, 32, 60);
+  EXPECT_GT(lat, us(13.0));
+  EXPECT_LT(lat, us(21.0));
+}
+
+TEST(Calibration, CrossoverP2pVsStagingNear32K) {
+  // Fig. 7: P2P wins below ~32 KB, staging wins above.
+  auto gg_bw = [](std::uint64_t size, bool staged) {
+    sim::Simulator sim;
+    auto c = Cluster::make_cluster_i(sim, 2, ApenetParams{}, false);
+    TwoNodeOptions o;
+    o.src_type = MemType::kGpu;
+    o.dst_type = MemType::kGpu;
+    o.staged_tx = o.staged_rx = staged;
+    return cluster::twonode_bandwidth(*c, size, 48, o).mbps;
+  };
+  // Well below the crossover: P2P wins.
+  EXPECT_GT(gg_bw(8192, false), gg_bw(8192, true));
+  // Well above: staging wins (pipelined copies hide the GPU read limit).
+  EXPECT_GT(gg_bw(2 << 20, true), gg_bw(2 << 20, false));
+}
+
+TEST(Calibration, HostOverheadOrdering) {
+  // Fig. 10: o(H-H) < o(G-G P2P) < o(G-G staged).
+  auto overhead = [](MemType t, bool staged) {
+    sim::Simulator sim;
+    auto c = Cluster::make_cluster_i(sim, 2, ApenetParams{}, false);
+    TwoNodeOptions o;
+    o.src_type = t;
+    o.dst_type = t;
+    o.staged_tx = staged && t == MemType::kGpu;
+    return cluster::host_overhead(*c, 512, 64, o);
+  };
+  Time hh = overhead(MemType::kHost, false);
+  Time gg = overhead(MemType::kGpu, false);
+  Time st = overhead(MemType::kGpu, true);
+  EXPECT_LT(hh, gg);
+  EXPECT_LT(gg, st);
+  // Staged overhead includes the synchronous cudaMemcpy (~5 us).
+  EXPECT_GT(st - hh, us(4.0));
+}
+
+TEST(Calibration, IbHHBandwidthX8_3GBs) {
+  sim::Simulator sim;
+  auto c = Cluster::make_cluster_ii(sim, 2);
+  auto r = cluster::ib_hh_bandwidth(*c, 1 << 20, 32);
+  EXPECT_GT(r.mbps, 2400.0);
+  EXPECT_LT(r.mbps, 3700.0);
+}
+
+TEST(Calibration, IbGGBandwidthRecoversAtLargeSizes) {
+  // MVAPICH pipelining: G-G approaches H-H at multi-MB sizes (Fig. 7).
+  sim::Simulator s1, s2;
+  auto c1 = Cluster::make_cluster_ii(s1, 2);
+  auto c2 = Cluster::make_cluster_ii(s2, 2);
+  auto gg = cluster::ib_gg_bandwidth(*c1, 2 << 20, 6);
+  auto hh = cluster::ib_hh_bandwidth(*c2, 2 << 20, 6);
+  EXPECT_GT(gg.mbps, hh.mbps * 0.55);
+}
+
+TEST(Calibration, ApenetBeatsIbAtSmallGGMessages) {
+  // The paper's headline: P2P wins for small-to-medium G-G messages.
+  sim::Simulator s1, s2;
+  auto apenet = Cluster::make_cluster_i(s1, 2, ApenetParams{}, false);
+  auto ib = Cluster::make_cluster_ii(s2, 2);
+  TwoNodeOptions gg;
+  gg.src_type = MemType::kGpu;
+  gg.dst_type = MemType::kGpu;
+  Time apn_lat = cluster::pingpong_latency(*apenet, 1024, 60, gg);
+  Time ib_lat = cluster::ib_gg_latency(*ib, 1024, 60);
+  EXPECT_LT(apn_lat, ib_lat);
+}
+
+}  // namespace
+}  // namespace apn

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "sim/coro.hpp"
+
+namespace apn::sim {
+namespace {
+
+using units::us;
+
+TEST(Coro, DelaySuspendsForDuration) {
+  Simulator sim;
+  Time done_at = -1;
+  [](Simulator& sim, Time& done_at) -> Coro {
+    co_await delay(sim, us(5));
+    done_at = sim.now();
+  }(sim, done_at);
+  sim.run();
+  EXPECT_EQ(done_at, us(5));
+}
+
+TEST(Coro, SequentialDelaysAccumulate) {
+  Simulator sim;
+  std::vector<Time> marks;
+  [](Simulator& sim, std::vector<Time>& marks) -> Coro {
+    for (int i = 0; i < 3; ++i) {
+      co_await delay(sim, us(2));
+      marks.push_back(sim.now());
+    }
+  }(sim, marks);
+  sim.run();
+  ASSERT_EQ(marks.size(), 3u);
+  EXPECT_EQ(marks[0], us(2));
+  EXPECT_EQ(marks[1], us(4));
+  EXPECT_EQ(marks[2], us(6));
+}
+
+TEST(Coro, RunsEagerlyUntilFirstSuspension) {
+  Simulator sim;
+  bool started = false;
+  [](Simulator& sim, bool& started) -> Coro {
+    started = true;
+    co_await delay(sim, us(1));
+  }(sim, started);
+  EXPECT_TRUE(started);  // before sim.run()
+}
+
+TEST(Coro, MultipleProcessesInterleave) {
+  Simulator sim;
+  std::vector<int> order;
+  auto proc = [](Simulator& sim, std::vector<int>& order, int id,
+                 Time period) -> Coro {
+    for (int i = 0; i < 2; ++i) {
+      co_await delay(sim, period);
+      order.push_back(id);
+    }
+  };
+  proc(sim, order, 1, us(3));  // fires at 3, 6
+  proc(sim, order, 2, us(4));  // fires at 4, 8
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 1, 2}));
+}
+
+TEST(Coro, YieldLetsPreviouslyScheduledSameTimeEventsRun) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.after(0, [&] { order.push_back(2); });
+  [](Simulator& sim, std::vector<int>& order) -> Coro {
+    order.push_back(1);  // eager: runs before any event
+    co_await yield(sim);
+    order.push_back(3);  // resumes after the already-queued event
+  }(sim, order);
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace apn::sim

@@ -1,0 +1,160 @@
+// Cross-module integration: full data paths through PCIe + GPU + card +
+// torus + RDMA API, exercised in combinations the unit tests don't cover.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "cluster/harness.hpp"
+#include "common/rng.hpp"
+
+namespace apn {
+namespace {
+
+using cluster::Cluster;
+using core::ApenetParams;
+using core::MemType;
+using units::us;
+
+TEST(EndToEnd, GpuToGpuAcrossThreeHopsPreservesData) {
+  sim::Simulator sim;
+  auto c = Cluster::make_cluster_i(sim, 8, ApenetParams{}, false);
+  int far = c->shape().index({2, 1, 0});
+  cuda::Runtime& cu0 = c->node(0).cuda();
+  cuda::Runtime& cuF = c->node(far).cuda();
+  const std::uint64_t n = 256 * 1024;
+  cuda::DevPtr src = cu0.malloc_device(0, n);
+  cuda::DevPtr dst = cuF.malloc_device(0, n);
+  std::vector<std::uint8_t> data(n);
+  Rng rng(2026);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_u64());
+  cu0.move_bytes(src, reinterpret_cast<std::uint64_t>(data.data()), n);
+
+  [](Cluster* c, int far, cuda::DevPtr src, cuda::DevPtr dst,
+     std::uint64_t n) -> sim::Coro {
+    co_await c->rdma(far).register_buffer(dst, n, MemType::kGpu);
+    c->rdma(0).put(c->coord(far), src, n, dst, MemType::kGpu);
+    co_await c->rdma(far).events().pop();
+  }(c.get(), far, src, dst, n);
+  sim.run();
+
+  std::vector<std::uint8_t> out(n);
+  cuF.move_bytes(reinterpret_cast<std::uint64_t>(out.data()), dst, n);
+  EXPECT_EQ(out, data);
+}
+
+TEST(EndToEnd, BidirectionalTrafficBothDirectionsComplete) {
+  sim::Simulator sim;
+  auto c = Cluster::make_cluster_i(sim, 2, ApenetParams{}, false);
+  std::vector<std::uint8_t> b0(65536, 0), b1(65536, 0);
+  auto done = std::make_shared<int>(0);
+  for (int me = 0; me < 2; ++me) {
+    [](Cluster* c, int me, std::vector<std::uint8_t>* mine,
+       std::vector<std::uint8_t>* theirs, std::shared_ptr<int> done)
+        -> sim::Coro {
+      co_await c->rdma(me).register_buffer(
+          reinterpret_cast<std::uint64_t>(mine->data()), mine->size(),
+          MemType::kHost);
+      std::vector<std::uint8_t> src(65536,
+                                    static_cast<std::uint8_t>(me + 10));
+      // Give the peer a moment to register.
+      co_await sim::delay(c->simulator(), us(100));
+      c->rdma(me).put(c->coord(1 - me),
+                      reinterpret_cast<std::uint64_t>(src.data()), 65536,
+                      reinterpret_cast<std::uint64_t>(theirs->data()),
+                      MemType::kHost);
+      co_await c->rdma(me).events().pop();
+      ++*done;
+    }(c.get(), me, me == 0 ? &b0 : &b1, me == 0 ? &b1 : &b0, done);
+  }
+  sim.run();
+  EXPECT_EQ(*done, 2);
+  EXPECT_EQ(b0[100], 11);  // written by node 1
+  EXPECT_EQ(b1[100], 10);  // written by node 0
+}
+
+TEST(EndToEnd, MixedHostAndGpuTrafficInterleaves) {
+  sim::Simulator sim;
+  auto c = Cluster::make_cluster_i(sim, 2, ApenetParams{}, false);
+  const std::uint64_t n = 32768;
+  cuda::DevPtr gdst = c->node(1).cuda().malloc_device(0, n);
+  std::vector<std::uint8_t> hdst(n, 0);
+  cuda::DevPtr gsrc = c->node(0).cuda().malloc_device(0, n);
+  std::vector<std::uint8_t> hsrc(n, 0x21), gdata(n, 0x42);
+  c->node(0).cuda().move_bytes(
+      gsrc, reinterpret_cast<std::uint64_t>(gdata.data()), n);
+
+  [](Cluster* c, cuda::DevPtr gsrc, cuda::DevPtr gdst,
+     std::vector<std::uint8_t>* hsrc, std::vector<std::uint8_t>* hdst,
+     std::uint64_t n) -> sim::Coro {
+    co_await c->rdma(1).register_buffer(gdst, n, MemType::kGpu);
+    co_await c->rdma(1).register_buffer(
+        reinterpret_cast<std::uint64_t>(hdst->data()), n, MemType::kHost);
+    // Interleave 8 GPU-source and 8 host-source puts.
+    for (int i = 0; i < 8; ++i) {
+      c->rdma(0).put(c->coord(1), gsrc, n / 8, gdst + (n / 8) * i,
+                     MemType::kGpu);
+      c->rdma(0).put(c->coord(1),
+                     reinterpret_cast<std::uint64_t>(hsrc->data()), n / 8,
+                     reinterpret_cast<std::uint64_t>(hdst->data()) +
+                         (n / 8) * i,
+                     MemType::kHost);
+    }
+    for (int i = 0; i < 16; ++i) co_await c->rdma(1).events().pop();
+  }(c.get(), gsrc, gdst, &hsrc, &hdst, n);
+  sim.run();
+
+  std::vector<std::uint8_t> gout(n);
+  c->node(1).cuda().move_bytes(reinterpret_cast<std::uint64_t>(gout.data()),
+                               gdst, n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ASSERT_EQ(gout[i], 0x42);
+    ASSERT_EQ(hdst[i], 0x21);
+  }
+}
+
+TEST(EndToEnd, SimulationIsDeterministic) {
+  auto run_once = [] {
+    sim::Simulator sim;
+    auto c = Cluster::make_cluster_i(sim, 2, ApenetParams{}, false);
+    auto bw = cluster::twonode_bandwidth(*c, 65536, 16,
+                                         cluster::TwoNodeOptions{});
+    return std::make_pair(bw.elapsed, sim.events_processed());
+  };
+  auto a = run_once();
+  auto b = run_once();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+TEST(EndToEnd, BackToBackMessagesKeepFifoOrder) {
+  // Messages between the same pair must complete in submission order
+  // (APEnet+ static routing is in-order).
+  sim::Simulator sim;
+  auto c = Cluster::make_cluster_i(sim, 2, ApenetParams{}, false);
+  std::vector<std::uint8_t> dst(8, 0);
+  std::vector<std::uint64_t> order;
+  [](Cluster* c, std::vector<std::uint8_t>* dst,
+     std::vector<std::uint64_t>* order) -> sim::Coro {
+    co_await c->rdma(1).register_buffer(
+        reinterpret_cast<std::uint64_t>(dst->data()), 8, MemType::kHost);
+    std::vector<std::vector<std::uint8_t>> srcs;
+    for (int i = 0; i < 10; ++i)
+      srcs.emplace_back(8, static_cast<std::uint8_t>(i));
+    std::vector<std::uint64_t> ids;
+    for (int i = 0; i < 10; ++i) {
+      auto p = c->rdma(0).put(
+          c->coord(1), reinterpret_cast<std::uint64_t>(srcs[i].data()), 8,
+          reinterpret_cast<std::uint64_t>(dst->data()), MemType::kHost);
+      ids.push_back(p.msg_id);
+    }
+    for (int i = 0; i < 10; ++i) {
+      core::RdmaEvent ev = co_await c->rdma(1).events().pop();
+      order->push_back(ev.msg_id);
+    }
+    EXPECT_EQ(*order, ids);
+  }(c.get(), &dst, &order);
+  sim.run();
+  EXPECT_EQ(dst[0], 9);  // last writer wins
+}
+
+}  // namespace
+}  // namespace apn

@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "pcie/fabric.hpp"
+#include "pcie/memory.hpp"
+
+namespace apn::pcie {
+namespace {
+
+using units::us;
+
+/// Endpoint that records writes and answers reads with a pattern.
+class ScratchDevice : public Device {
+ public:
+  explicit ScratchDevice(sim::Simulator& sim) : sim_(&sim) {}
+
+  void handle_write(std::uint64_t addr, Payload payload) override {
+    writes.push_back({addr, payload.bytes, sim_->now()});
+    if (!payload.data.empty())
+      last_data.assign(payload.data.begin(), payload.data.end());
+  }
+  void handle_read(std::uint64_t, std::uint32_t len,
+                   std::function<void(Payload)> reply) override {
+    Payload p;
+    p.bytes = len;
+    p.data.assign(len, 0xAB);
+    sim_->after(us(1), [reply = std::move(reply), p = std::move(p)]() mutable {
+      reply(std::move(p));
+    });
+  }
+
+  struct Write {
+    std::uint64_t addr;
+    std::uint64_t bytes;
+    Time at;
+  };
+  std::vector<Write> writes;
+  std::vector<std::uint8_t> last_data;
+
+ private:
+  sim::Simulator* sim_;
+};
+
+struct FabricFixture : ::testing::Test {
+  sim::Simulator sim;
+  Fabric fabric{sim};
+  ScratchDevice a{sim}, b{sim};
+  int root = -1, sw = -1;
+
+  void SetUp() override {
+    root = fabric.add_root();
+    sw = fabric.add_switch(root, gen2_x16(), "plx");
+    fabric.attach(a, sw, gen2_x8());
+    fabric.attach(b, sw, gen2_x8());
+    fabric.claim_range(a, 0x1000000, 0x100000);
+    fabric.claim_range(b, 0x2000000, 0x100000);
+  }
+};
+
+TEST_F(FabricFixture, RouteByAddress) {
+  EXPECT_EQ(fabric.route(0x1000000), &a);
+  EXPECT_EQ(fabric.route(0x10FFFFF), &a);
+  EXPECT_EQ(fabric.route(0x2000000), &b);
+  EXPECT_EQ(fabric.route(0x9999999), nullptr);  // no default target set
+}
+
+TEST_F(FabricFixture, WriteDeliversDataToTarget) {
+  std::vector<std::uint8_t> data(1000);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<std::uint8_t>(i);
+  bool done = false;
+  fabric.post_write(a, 0x2000040, Payload::of(data), [&] { done = true; });
+  sim.run();
+  EXPECT_TRUE(done);
+  ASSERT_EQ(b.writes.size(), 1u);
+  EXPECT_EQ(b.writes[0].addr, 0x2000040u);
+  EXPECT_EQ(b.writes[0].bytes, 1000u);
+  EXPECT_EQ(b.last_data, data);
+}
+
+TEST_F(FabricFixture, LargeWriteIsChunkedButContiguous) {
+  bool done = false;
+  fabric.post_write(a, 0x2000000, Payload::timing(20000), [&] { done = true; });
+  sim.run();
+  EXPECT_TRUE(done);
+  // 20000 bytes in 4 KB chunks = 5 chunks (4 full + remainder).
+  ASSERT_EQ(b.writes.size(), 5u);
+  std::uint64_t total = 0, expect_addr = 0x2000000;
+  for (const auto& w : b.writes) {
+    EXPECT_EQ(w.addr, expect_addr);
+    expect_addr += w.bytes;
+    total += w.bytes;
+  }
+  EXPECT_EQ(total, 20000u);
+}
+
+TEST_F(FabricFixture, ReadReturnsTargetData) {
+  std::vector<std::uint8_t> got;
+  fabric.read(a, 0x2000000, 512, [&](Payload p) { got = std::move(p.data); });
+  sim.run();
+  ASSERT_EQ(got.size(), 512u);
+  EXPECT_EQ(got[0], 0xAB);
+  EXPECT_EQ(got[511], 0xAB);
+}
+
+TEST_F(FabricFixture, TransferTimeReflectsLinkSpeed) {
+  Time done_at = -1;
+  fabric.post_write(a, 0x2000000, Payload::timing(1 << 20),
+                    [&] { done_at = sim.now(); });
+  sim.run();
+  // 1 MiB over x8 Gen2 (4 GB/s raw, ~3.6 GB/s effective): ~290 us plus
+  // small hop latencies.
+  EXPECT_GT(done_at, us(280));
+  EXPECT_LT(done_at, us(320));
+}
+
+TEST_F(FabricFixture, PathLatencySums) {
+  // a -> switch -> b: two hops of 200 ns each.
+  EXPECT_EQ(fabric.path_latency(a, b), units::ns(400));
+}
+
+TEST_F(FabricFixture, ConcurrentWritesShareTheUplink) {
+  // Both endpoints write to each other simultaneously; each direction of
+  // each link is independent, so they should NOT contend.
+  Time a_done = -1, b_done = -1;
+  fabric.post_write(a, 0x2000000, Payload::timing(1 << 20),
+                    [&] { a_done = sim.now(); });
+  fabric.post_write(b, 0x1000000, Payload::timing(1 << 20),
+                    [&] { b_done = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(units::to_us(a_done), units::to_us(b_done), 1.0);
+  EXPECT_LT(a_done, us(320));
+}
+
+TEST_F(FabricFixture, BusAnalyzerRecordsChunks) {
+  BusAnalyzer bus;
+  fabric.attach_analyzer(b.pcie_node(), bus);
+  fabric.post_write(a, 0x2000000, Payload::timing(8192));
+  sim.run();
+  ASSERT_EQ(bus.events().size(), 2u);  // two 4 KB chunks
+  EXPECT_EQ(bus.events()[0].kind, BusEvent::Kind::kWrite);
+  EXPECT_TRUE(bus.events()[0].downstream);
+  EXPECT_LT(bus.events()[0].time, bus.events()[1].time);
+}
+
+TEST(HostMemoryFabric, DefaultTargetReceivesUnclaimedWrites) {
+  sim::Simulator sim;
+  Fabric fabric(sim);
+  int root = fabric.add_root();
+  HostMemory host(sim);
+  fabric.attach(host, root, gen2_x16());
+  fabric.set_default_target(host);
+  ScratchDevice dev(sim);
+  fabric.attach(dev, root, gen2_x8());
+  fabric.claim_range(dev, 0xF0000000, 0x1000);
+
+  std::vector<std::uint8_t> buffer(256, 0);
+  host.pin(buffer.data(), buffer.size());
+
+  std::vector<std::uint8_t> payload(256);
+  for (std::size_t i = 0; i < payload.size(); ++i)
+    payload[i] = static_cast<std::uint8_t>(255 - i);
+  fabric.post_write(dev, reinterpret_cast<std::uint64_t>(buffer.data()),
+                    Payload::of(payload));
+  sim.run();
+  EXPECT_EQ(buffer, payload);
+}
+
+TEST(HostMemoryFabric, ReadFromPinnedMemoryReturnsBytes) {
+  sim::Simulator sim;
+  Fabric fabric(sim);
+  int root = fabric.add_root();
+  HostMemory host(sim);
+  fabric.attach(host, root, gen2_x16());
+  fabric.set_default_target(host);
+  ScratchDevice dev(sim);
+  fabric.attach(dev, root, gen2_x8());
+  fabric.claim_range(dev, 0xF0000000, 0x1000);
+
+  std::vector<std::uint8_t> buffer(512);
+  for (std::size_t i = 0; i < buffer.size(); ++i)
+    buffer[i] = static_cast<std::uint8_t>(i * 3);
+  host.pin(buffer.data(), buffer.size());
+
+  std::vector<std::uint8_t> got;
+  fabric.read(dev, reinterpret_cast<std::uint64_t>(buffer.data()), 512,
+              [&](Payload p) { got = std::move(p.data); });
+  sim.run();
+  EXPECT_EQ(got, buffer);
+}
+
+TEST(HostMemoryFabric, UnpinnedReadsAreTimingOnly) {
+  sim::Simulator sim;
+  Fabric fabric(sim);
+  int root = fabric.add_root();
+  HostMemory host(sim);
+  fabric.attach(host, root, gen2_x16());
+  fabric.set_default_target(host);
+  ScratchDevice dev(sim);
+  fabric.attach(dev, root, gen2_x8());
+  fabric.claim_range(dev, 0xF0000000, 0x1000);
+
+  bool completed = false;
+  fabric.read(dev, 0x12345000, 256, [&](Payload p) {
+    completed = true;
+    EXPECT_TRUE(p.data.empty());
+    EXPECT_EQ(p.bytes, 256u);
+  });
+  sim.run();
+  EXPECT_TRUE(completed);
+}
+
+}  // namespace
+}  // namespace apn::pcie

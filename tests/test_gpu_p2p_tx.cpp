@@ -1,0 +1,122 @@
+// The three GPU_P2P_TX generations: read-bandwidth ceilings and prefetch
+// window scaling (the mechanics behind the paper's Figs. 4-5).
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "cluster/harness.hpp"
+#include "core/gpu_p2p_tx.hpp"
+
+namespace apn::core {
+namespace {
+
+using cluster::Cluster;
+
+double gpu_read_bw(P2pTxVersion ver, std::uint32_t window,
+                   std::uint64_t msg, int count) {
+  sim::Simulator sim;
+  ApenetParams p;
+  p.flush_at_switch = true;
+  p.p2p_tx_version = ver;
+  p.p2p_prefetch_window = window;
+  auto c = Cluster::make_cluster_i(sim, 1, p, false);
+  auto r = cluster::loopback_bandwidth(*c, 0, MemType::kGpu, msg, count);
+  return r.mbps;
+}
+
+TEST(GpuP2pTx, V1SoftwarePathIsAround600MBs) {
+  // Paper: "the peak GPU reading bandwidth was throttled to 600 MB/s".
+  double bw = gpu_read_bw(P2pTxVersion::kV1, 4096, 1 << 20, 16);
+  EXPECT_GT(bw, 450.0);
+  EXPECT_LT(bw, 750.0);
+}
+
+TEST(GpuP2pTx, V2WindowScalingImprovesBandwidth) {
+  double w4 = gpu_read_bw(P2pTxVersion::kV2, 4 * 1024, 1 << 20, 16);
+  double w8 = gpu_read_bw(P2pTxVersion::kV2, 8 * 1024, 1 << 20, 16);
+  double w16 = gpu_read_bw(P2pTxVersion::kV2, 16 * 1024, 1 << 20, 16);
+  double w32 = gpu_read_bw(P2pTxVersion::kV2, 32 * 1024, 1 << 20, 16);
+  EXPECT_LT(w4, w8);
+  EXPECT_LT(w8, w16);
+  EXPECT_LT(w16, w32);
+  // Paper: ~20% improvement from 4 KB to 8 KB.
+  EXPECT_GT(w8 / w4, 1.10);
+  EXPECT_LT(w8 / w4, 1.45);
+}
+
+TEST(GpuP2pTx, V2At32KReachesNearArchitecturalCeiling) {
+  // Paper: 32 KB prefetch window reaches the 1.5 GB/s Fermi peak.
+  double bw = gpu_read_bw(P2pTxVersion::kV2, 32 * 1024, 2 << 20, 16);
+  EXPECT_GT(bw, 1350.0);
+  EXPECT_LT(bw, 1600.0);
+}
+
+TEST(GpuP2pTx, V3MatchesOrBeatsV2) {
+  double v2 = gpu_read_bw(P2pTxVersion::kV2, 32 * 1024, 2 << 20, 12);
+  double v3 = gpu_read_bw(P2pTxVersion::kV3, 128 * 1024, 2 << 20, 12);
+  EXPECT_GE(v3, v2 * 0.98);
+}
+
+TEST(GpuP2pTx, KeplerReadsSlightlyFasterThanFermi) {
+  // Paper Table I: 1.6 GB/s (Kepler) vs 1.5 GB/s (Fermi), ~10%.
+  sim::Simulator sim;
+  ApenetParams p;
+  p.flush_at_switch = true;
+  cluster::NodeConfig cfg;
+  cfg.gpus = {gpu::kepler_k20()};
+  cfg.has_apenet = true;
+  cfg.has_ib = false;
+  auto c = std::make_unique<Cluster>(sim, TorusShape{1, 1, 1}, cfg, p);
+  auto r = cluster::loopback_bandwidth(*c, 0, MemType::kGpu, 2 << 20, 12);
+  EXPECT_GT(r.mbps, 1500.0);
+  EXPECT_LT(r.mbps, 1750.0);
+}
+
+TEST(GpuP2pTx, LoopbackSlowerThanFlushBecauseNiosShared) {
+  // Fig. 4 vs Fig. 5: full loop-back adds RX processing on the same
+  // Nios II and drops below the pure read bandwidth.
+  double flush = gpu_read_bw(P2pTxVersion::kV3, 128 * 1024, 1 << 20, 16);
+
+  sim::Simulator sim;
+  ApenetParams p;
+  p.p2p_tx_version = P2pTxVersion::kV3;
+  p.p2p_prefetch_window = 128 * 1024;
+  auto c = Cluster::make_cluster_i(sim, 1, p, false);
+  auto loop = cluster::loopback_bandwidth(*c, 0, MemType::kGpu, 1 << 20, 16);
+
+  EXPECT_LT(loop.mbps, flush);
+  // Paper Table I: G-G loop-back ~1.1 GB/s.
+  EXPECT_GT(loop.mbps, 950.0);
+  EXPECT_LT(loop.mbps, 1300.0);
+}
+
+TEST(GpuP2pTx, V1LoadsNiosHarderThanV3) {
+  auto nios_busy = [](P2pTxVersion ver) {
+    sim::Simulator sim;
+    ApenetParams p;
+    p.flush_at_switch = true;
+    p.p2p_tx_version = ver;
+    p.p2p_prefetch_window = 32 * 1024;
+    auto c = Cluster::make_cluster_i(sim, 1, p, false);
+    cluster::loopback_bandwidth(*c, 0, MemType::kGpu, 1 << 20, 8);
+    return c->node(0).card().nios().busy_time();
+  };
+  Time v1 = nios_busy(P2pTxVersion::kV1);
+  Time v3 = nios_busy(P2pTxVersion::kV3);
+  EXPECT_GT(v1, v3 * 10);
+}
+
+TEST(GpuP2pTx, RequestGranularityMatchesProtocolTraffic) {
+  // 512 B read granule with 32 B descriptors -> protocol traffic is
+  // 1/16th of the data rate (the paper's 96 MB/s at 1.5 GB/s).
+  sim::Simulator sim;
+  ApenetParams p;
+  p.flush_at_switch = true;
+  auto c = Cluster::make_cluster_i(sim, 1, p, false);
+  cluster::loopback_bandwidth(*c, 0, MemType::kGpu, 1 << 20, 4);
+  const auto& tx = c->node(0).card().gpu_tx();
+  EXPECT_EQ(tx.bytes_read(), 4ull << 20);
+  EXPECT_EQ(tx.requests_issued(), (4ull << 20) / 512);
+}
+
+}  // namespace
+}  // namespace apn::core

@@ -1,0 +1,30 @@
+#include <gtest/gtest.h>
+
+#include "common/log.hpp"
+
+namespace apn {
+namespace {
+
+TEST(Logger, LevelsFilter) {
+  Logger log("test", LogLevel::kWarn);
+  EXPECT_EQ(log.level(), LogLevel::kWarn);
+  // Below/at/above threshold: must not crash; output goes to stderr.
+  log.error(0, "error %d", 1);
+  log.warn(units::us(5), "warn %s", "x");
+  log.info(0, "suppressed");
+  log.trace(0, "suppressed");
+  log.set_level(LogLevel::kTrace);
+  log.trace(units::ms(1), "now visible");
+  SUCCEED();
+}
+
+TEST(Logger, GlobalDefaultAppliesToNewLoggers) {
+  LogLevel saved = Logger::global_level();
+  Logger::global_level() = LogLevel::kError;
+  Logger log("test2");
+  EXPECT_EQ(log.level(), LogLevel::kError);
+  Logger::global_level() = saved;
+}
+
+}  // namespace
+}  // namespace apn

@@ -1,0 +1,122 @@
+// Torus wiring and multi-hop routing through the ApenetNetwork.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+
+namespace apn::core {
+namespace {
+
+using cluster::Cluster;
+using units::us;
+
+TEST(Network, EightNodeTorusShape) {
+  sim::Simulator sim;
+  auto c = Cluster::make_cluster_i(sim, 8, ApenetParams{}, false);
+  EXPECT_EQ(c->size(), 8);
+  EXPECT_EQ(c->shape().nx, 4);
+  EXPECT_EQ(c->shape().ny, 2);
+  EXPECT_EQ(c->shape().nz, 1);
+}
+
+TEST(Network, MultiHopDelivery) {
+  sim::Simulator sim;
+  auto c = Cluster::make_cluster_i(sim, 8, ApenetParams{}, false);
+  // (0,0,0) -> (2,1,0): 3 hops through intermediate cards.
+  std::vector<std::uint8_t> src(2048), dst(2048, 0);
+  for (std::size_t i = 0; i < src.size(); ++i)
+    src[i] = static_cast<std::uint8_t>(i ^ 0x5Au);
+  int dst_node = c->shape().index({2, 1, 0});
+  [](Cluster* c, int dst_node, std::vector<std::uint8_t>* src,
+     std::vector<std::uint8_t>* dst) -> sim::Coro {
+    co_await c->rdma(dst_node).register_buffer(
+        reinterpret_cast<std::uint64_t>(dst->data()), 2048, MemType::kHost);
+    c->rdma(0).put(c->coord(dst_node),
+                   reinterpret_cast<std::uint64_t>(src->data()), 2048,
+                   reinterpret_cast<std::uint64_t>(dst->data()),
+                   MemType::kHost);
+    co_await c->rdma(dst_node).events().pop();
+  }(c.get(), dst_node, &src, &dst);
+  sim.run();
+  EXPECT_EQ(dst, src);
+  // Transit cards must not have consumed the packet.
+  int mid = c->shape().index({1, 0, 0});
+  EXPECT_EQ(c->node(mid).card().packets_received(), 0u);
+}
+
+TEST(Network, FartherNodesHaveHigherLatency) {
+  auto one_way = [](TorusCoord target) {
+    sim::Simulator sim;
+    auto c = Cluster::make_cluster_i(sim, 8, ApenetParams{}, false);
+    int dst_node = c->shape().index(target);
+    auto t = std::make_shared<Time>(0);
+    std::vector<std::uint8_t> dst(64);
+    auto dstp = std::make_shared<std::vector<std::uint8_t>>(64);
+    [](Cluster* c, int dst_node, std::shared_ptr<std::vector<std::uint8_t>> d,
+       std::shared_ptr<Time> t) -> sim::Coro {
+      co_await c->rdma(dst_node).register_buffer(
+          reinterpret_cast<std::uint64_t>(d->data()), 64, MemType::kHost);
+      Time t0 = c->simulator().now();
+      std::vector<std::uint8_t> src(64);
+      c->rdma(0).put(c->coord(dst_node),
+                     reinterpret_cast<std::uint64_t>(src.data()), 64,
+                     reinterpret_cast<std::uint64_t>(d->data()),
+                     MemType::kHost, false);
+      co_await c->rdma(dst_node).events().pop();
+      *t = c->simulator().now() - t0;
+    }(c.get(), dst_node, dstp, t);
+    sim.run();
+    return *t;
+  };
+  Time near = one_way({1, 0, 0});   // 1 hop
+  Time far = one_way({2, 1, 0});    // 3 hops
+  EXPECT_GT(far, near);
+  EXPECT_LT(far, near + us(2));  // each hop is sub-microsecond
+}
+
+TEST(Network, AllToAllTrafficCompletes) {
+  sim::Simulator sim;
+  auto c = Cluster::make_cluster_i(sim, 8, ApenetParams{}, false);
+  const int n = c->size();
+  auto buffers =
+      std::make_shared<std::vector<std::vector<std::uint8_t>>>();
+  for (int i = 0; i < n; ++i)
+    buffers->emplace_back(static_cast<std::size_t>(n) * 256);
+  auto done = std::make_shared<int>(0);
+
+  for (int me = 0; me < n; ++me) {
+    [](Cluster* c, int me, int n,
+       std::shared_ptr<std::vector<std::vector<std::uint8_t>>> buffers,
+       std::shared_ptr<int> done) -> sim::Coro {
+      auto& mine = (*buffers)[static_cast<std::size_t>(me)];
+      co_await c->rdma(me).register_buffer(
+          reinterpret_cast<std::uint64_t>(mine.data()), mine.size(),
+          MemType::kHost);
+      // Everyone sends 256 bytes to everyone else, tagged by sender.
+      std::vector<std::uint8_t> src(256, static_cast<std::uint8_t>(me + 1));
+      for (int p = 0; p < n; ++p) {
+        if (p == me) continue;
+        auto& theirs = (*buffers)[static_cast<std::size_t>(p)];
+        c->rdma(me).put(c->coord(p),
+                        reinterpret_cast<std::uint64_t>(src.data()), 256,
+                        reinterpret_cast<std::uint64_t>(theirs.data()) +
+                            static_cast<std::uint64_t>(me) * 256,
+                        MemType::kHost);
+      }
+      for (int p = 0; p < n - 1; ++p) co_await c->rdma(me).events().pop();
+      ++*done;
+    }(c.get(), me, n, buffers, done);
+  }
+  sim.run();
+  EXPECT_EQ(*done, 8);
+  // Spot-check contents: node 3's slot from node 5.
+  EXPECT_EQ((*buffers)[3][5 * 256 + 17], 6);
+}
+
+TEST(Network, WrongCardCountThrows) {
+  sim::Simulator sim;
+  ApenetNetwork net(sim, TorusShape{2, 1, 1});
+  EXPECT_THROW(net.wire(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace apn::core

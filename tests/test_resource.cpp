@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "sim/coro.hpp"
+#include "sim/resource.hpp"
+
+namespace apn::sim {
+namespace {
+
+using units::us;
+
+TEST(Resource, SerializesJobs) {
+  Simulator sim;
+  Resource res(sim);
+  std::vector<Time> done_at;
+  for (int i = 0; i < 3; ++i)
+    res.post(us(10), [&] { done_at.push_back(sim.now()); });
+  sim.run();
+  ASSERT_EQ(done_at.size(), 3u);
+  EXPECT_EQ(done_at[0], us(10));
+  EXPECT_EQ(done_at[1], us(20));
+  EXPECT_EQ(done_at[2], us(30));
+}
+
+TEST(Resource, AwaitableUse) {
+  Simulator sim;
+  Resource res(sim);
+  Time a = -1, b = -1;
+  [](Simulator& sim, Resource& r, Time& t) -> Coro {
+    co_await r.use(us(5));
+    t = sim.now();
+  }(sim, res, a);
+  [](Simulator& sim, Resource& r, Time& t) -> Coro {
+    co_await r.use(us(5));
+    t = sim.now();
+  }(sim, res, b);
+  sim.run();
+  EXPECT_EQ(a, us(5));
+  EXPECT_EQ(b, us(10));
+}
+
+TEST(Resource, IdleGapsDoNotAccumulate) {
+  Simulator sim;
+  Resource res(sim);
+  Time done = -1;
+  sim.after(us(100), [&] {
+    res.post(us(5), [&] { done = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(done, us(105));
+}
+
+TEST(Resource, UtilizationAccounting) {
+  Simulator sim;
+  Resource res(sim);
+  res.post(us(30));
+  sim.after(us(100), [] {});  // extend sim time to 100 us
+  sim.run();
+  EXPECT_EQ(res.busy_time(), us(30));
+  EXPECT_NEAR(res.utilization(), 0.3, 1e-9);
+  EXPECT_EQ(res.jobs_completed(), 1u);
+}
+
+TEST(Resource, QueueLengthVisible) {
+  Simulator sim;
+  Resource res(sim);
+  res.post(us(10));
+  res.post(us(10));
+  res.post(us(10));
+  EXPECT_TRUE(res.busy());
+  EXPECT_EQ(res.queue_length(), 2u);  // one in service, two queued
+  sim.run();
+  EXPECT_FALSE(res.busy());
+  EXPECT_EQ(res.queue_length(), 0u);
+}
+
+TEST(Resource, ZeroDurationJobsComplete) {
+  Simulator sim;
+  Resource res(sim);
+  int n = 0;
+  for (int i = 0; i < 5; ++i) res.post(0, [&] { ++n; });
+  sim.run();
+  EXPECT_EQ(n, 5);
+}
+
+}  // namespace
+}  // namespace apn::sim

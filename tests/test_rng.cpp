@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+
+namespace apn {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng a(99);
+  std::uint64_t first = a.next_u64();
+  a.next_u64();
+  a.reseed(99);
+  EXPECT_EQ(a.next_u64(), first);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    std::uint64_t v = r.next_below(17);
+    EXPECT_LT(v, 17u);
+  }
+  EXPECT_EQ(r.next_below(0), 0u);
+  EXPECT_EQ(r.next_below(1), 0u);
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  Rng r(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(5);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    double v = r.next_double();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 20000, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRange) {
+  Rng r(31);
+  for (int i = 0; i < 1000; ++i) {
+    double v = r.uniform(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng r(17);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i)
+    if (r.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng r(23);
+  double sum = 0, sum2 = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    double g = r.gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(SplitMix, KnownProgressionIsDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+}  // namespace
+}  // namespace apn

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "pcie/memory.hpp"
+#include "simcuda/runtime.hpp"
+
+namespace apn::cuda {
+namespace {
+
+using units::us;
+
+struct CudaFixture : ::testing::Test {
+  sim::Simulator sim;
+  pcie::Fabric fabric{sim};
+  std::unique_ptr<gpu::Gpu> gpu0, gpu1;
+  std::unique_ptr<Runtime> rt;
+
+  void SetUp() override {
+    int root = fabric.add_root();
+    gpu0 = std::make_unique<gpu::Gpu>(sim, fabric, gpu::fermi_c2050(),
+                                      0xE00000000000ull);
+    gpu1 = std::make_unique<gpu::Gpu>(sim, fabric, gpu::fermi_c2070(),
+                                      0xE00100000000ull);
+    fabric.attach(*gpu0, root, pcie::gen2_x16());
+    fabric.attach(*gpu1, root, pcie::gen2_x16());
+    rt = std::make_unique<Runtime>(sim,
+                                   std::vector<gpu::Gpu*>{gpu0.get(),
+                                                          gpu1.get()});
+  }
+};
+
+TEST_F(CudaFixture, UvaAddressesAreDisjointPerDevice) {
+  DevPtr a = rt->malloc_device(0, 4096);
+  DevPtr b = rt->malloc_device(1, 4096);
+  EXPECT_GE(a, Runtime::kUvaBase);
+  EXPECT_GE(b, Runtime::kUvaBase + Runtime::kUvaStride);
+  PointerInfo ia = rt->pointer_info(a);
+  PointerInfo ib = rt->pointer_info(b);
+  EXPECT_TRUE(ia.is_device);
+  EXPECT_EQ(ia.device, 0);
+  EXPECT_TRUE(ib.is_device);
+  EXPECT_EQ(ib.device, 1);
+}
+
+TEST_F(CudaFixture, HostPointersClassifiedAsHost) {
+  int on_stack = 0;
+  PointerInfo info =
+      rt->pointer_info(reinterpret_cast<std::uint64_t>(&on_stack));
+  EXPECT_FALSE(info.is_device);
+}
+
+TEST_F(CudaFixture, P2pTokensMatchAllocation) {
+  DevPtr a = rt->malloc_device(1, 128 * 1024);
+  P2pTokens t = rt->get_p2p_tokens(a, 128 * 1024);
+  EXPECT_EQ(t.device, 1);
+  EXPECT_EQ(t.size, 128u * 1024u);
+  EXPECT_EQ(t.page_count(), 2u);
+  int host_var = 0;
+  EXPECT_THROW(rt->get_p2p_tokens(
+                   reinterpret_cast<std::uint64_t>(&host_var), 4),
+               std::invalid_argument);
+}
+
+TEST_F(CudaFixture, FreeReturnsMemory) {
+  DevPtr a = rt->malloc_device(0, 1 << 20);
+  std::uint64_t used = rt->device(0).allocator().used_bytes();
+  EXPECT_GE(used, 1u << 20);
+  rt->free_device(a);
+  EXPECT_EQ(rt->device(0).allocator().used_bytes(), 0u);
+}
+
+TEST_F(CudaFixture, MemcpySyncMovesBytesH2DAndBack) {
+  DevPtr d = rt->malloc_device(0, 1024);
+  std::vector<std::uint8_t> src(1024);
+  for (std::size_t i = 0; i < src.size(); ++i)
+    src[i] = static_cast<std::uint8_t>(i * 11);
+  std::vector<std::uint8_t> dst(1024, 0);
+
+  [](Runtime& rt, DevPtr d, std::vector<std::uint8_t>& src,
+     std::vector<std::uint8_t>& dst) -> sim::Coro {
+    co_await rt.memcpy_sync(d, reinterpret_cast<std::uint64_t>(src.data()),
+                            src.size());
+    co_await rt.memcpy_sync(reinterpret_cast<std::uint64_t>(dst.data()), d,
+                            dst.size());
+  }(*rt, d, src, dst);
+  sim.run();
+  EXPECT_EQ(dst, src);
+}
+
+TEST_F(CudaFixture, MemcpySyncCostsOverheadPlusTransfer) {
+  DevPtr d = rt->malloc_device(0, 1 << 20);
+  std::vector<std::uint8_t> host(1 << 20);
+  Time small_done = -1, large_done = -1;
+
+  [](Runtime& rt, sim::Simulator& sim, DevPtr d,
+     std::vector<std::uint8_t>& host, Time& small_done,
+     Time& large_done) -> sim::Coro {
+    Time t0 = sim.now();
+    co_await rt.memcpy_sync(reinterpret_cast<std::uint64_t>(host.data()), d,
+                            32);
+    small_done = sim.now() - t0;
+    t0 = sim.now();
+    co_await rt.memcpy_sync(reinterpret_cast<std::uint64_t>(host.data()), d,
+                            1 << 20);
+    large_done = sim.now() - t0;
+  }(*rt, sim, d, host, small_done, large_done);
+  sim.run();
+
+  // Small D2H copy: dominated by the ~9 us sync overhead (the paper's
+  // "single cudaMemcpy overhead ... around 10 us").
+  EXPECT_GT(small_done, us(8.0));
+  EXPECT_LT(small_done, us(11.0));
+  // Large copy: overhead + 1 MiB / 5.5 GB/s ~ 200 us.
+  EXPECT_GT(large_done, us(190));
+  EXPECT_LT(large_done, us(215));
+}
+
+TEST_F(CudaFixture, DeviceToDeviceCopy) {
+  DevPtr a = rt->malloc_device(0, 4096);
+  DevPtr b = rt->malloc_device(0, 4096);
+  std::vector<std::uint8_t> src(4096, 0x42);
+  rt->move_bytes(a, reinterpret_cast<std::uint64_t>(src.data()), 4096);
+  [](Runtime& rt, DevPtr a, DevPtr b) -> sim::Coro {
+    co_await rt.memcpy_sync(b, a, 4096);
+  }(*rt, a, b);
+  sim.run();
+  std::vector<std::uint8_t> out(4096);
+  rt->move_bytes(reinterpret_cast<std::uint64_t>(out.data()), b, 4096);
+  EXPECT_EQ(out, src);
+}
+
+TEST_F(CudaFixture, HostToHostThroughCudaIsRejected) {
+  int a = 0, b = 0;
+  EXPECT_THROW(rt->classify(reinterpret_cast<std::uint64_t>(&a),
+                            reinterpret_cast<std::uint64_t>(&b)),
+               std::invalid_argument);
+}
+
+TEST_F(CudaFixture, Bar1MapChargesReconfigurationTime) {
+  DevPtr d = rt->malloc_device(0, 1 << 20);
+  auto fut = rt->bar1_map_async(d, 1 << 20);
+  sim.run();
+  ASSERT_TRUE(fut.ready());
+  EXPECT_GE(sim.now(), units::ms(1));  // full GPU reconfiguration
+  EXPECT_GE(fut.get().pcie_addr,
+            gpu0->mmio_base() + gpu::GpuMmio::kBar1Aperture);
+}
+
+}  // namespace
+}  // namespace apn::cuda

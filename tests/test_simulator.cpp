@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace apn::sim {
+namespace {
+
+using units::us;
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Simulator, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.after(us(3), [&] { order.push_back(3); });
+  sim.after(us(1), [&] { order.push_back(1); });
+  sim.after(us(2), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), us(3));
+}
+
+TEST(Simulator, SameTimeFiresInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    sim.after(us(5), [&order, i] { order.push_back(i); });
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulator, NestedScheduling) {
+  Simulator sim;
+  Time inner_fired = -1;
+  sim.after(us(1), [&] {
+    sim.after(us(2), [&] { inner_fired = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(inner_fired, us(3));
+}
+
+TEST(Simulator, ZeroDelayRunsAtCurrentTime) {
+  Simulator sim;
+  Time t = -1;
+  sim.after(us(7), [&] {
+    sim.after(0, [&] { t = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(t, us(7));
+}
+
+TEST(Simulator, PastTimeClampsToNow) {
+  Simulator sim;
+  Time fired = -1;
+  sim.after(us(10), [&] {
+    sim.at(us(5), [&] { fired = sim.now(); });  // in the past
+  });
+  sim.run();
+  EXPECT_EQ(fired, us(10));
+}
+
+TEST(Simulator, RunUntilAdvancesClockAndStops) {
+  Simulator sim;
+  int fired = 0;
+  sim.after(us(1), [&] { ++fired; });
+  sim.after(us(10), [&] { ++fired; });
+  sim.run_until(us(5));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), us(5));
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, StepProcessesOne) {
+  Simulator sim;
+  int fired = 0;
+  sim.after(1, [&] { ++fired; });
+  sim.after(2, [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(sim.events_processed(), 2u);
+}
+
+TEST(Simulator, NegativeDelayTreatedAsZero) {
+  Simulator sim;
+  Time t = -1;
+  sim.after(-100, [&] { t = sim.now(); });
+  sim.run();
+  EXPECT_EQ(t, 0);
+}
+
+TEST(Simulator, ManyEventsStressOrdering) {
+  Simulator sim;
+  Time last = -1;
+  bool monotone = true;
+  for (int i = 0; i < 10000; ++i) {
+    sim.after((i * 7919) % 1000, [&, i] {
+      if (sim.now() < last) monotone = false;
+      last = sim.now();
+    });
+  }
+  sim.run();
+  EXPECT_TRUE(monotone);
+  EXPECT_EQ(sim.events_processed(), 10000u);
+}
+
+}  // namespace
+}  // namespace apn::sim

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "core/torus.hpp"
+
+namespace apn::core {
+namespace {
+
+TEST(TorusShape, IndexCoordRoundTrip) {
+  TorusShape s{4, 2, 3};
+  for (int i = 0; i < s.size(); ++i) {
+    EXPECT_EQ(s.index(s.coord(i)), i);
+  }
+  EXPECT_EQ(s.size(), 24);
+  EXPECT_THROW(s.coord(24), std::out_of_range);
+}
+
+TEST(TorusShape, RingDeltaMinimal) {
+  EXPECT_EQ(TorusShape::ring_delta(0, 1, 4), 1);
+  EXPECT_EQ(TorusShape::ring_delta(0, 3, 4), -1);  // wrap backwards
+  EXPECT_EQ(TorusShape::ring_delta(0, 2, 4), 2);   // tie -> positive
+  EXPECT_EQ(TorusShape::ring_delta(3, 0, 4), 1);   // wrap forwards
+  EXPECT_EQ(TorusShape::ring_delta(2, 2, 4), 0);
+  EXPECT_EQ(TorusShape::ring_delta(1, 0, 2), 1);   // size-2 ring: tie -> +
+}
+
+TEST(TorusShape, DimensionOrderXFirst) {
+  TorusShape s{4, 2, 1};
+  // From (0,0,0) to (2,1,0): X resolved first.
+  EXPECT_EQ(s.route_next({0, 0, 0}, {2, 1, 0}), TorusPort::kXplus);
+  // X resolved: next Y.
+  EXPECT_EQ(s.route_next({2, 0, 0}, {2, 1, 0}), TorusPort::kYplus);
+  EXPECT_EQ(s.route_next({2, 1, 0}, {2, 1, 0}), TorusPort::kLocal);
+}
+
+TEST(TorusShape, WrapAroundChoosesShorterPath) {
+  TorusShape s{4, 1, 1};
+  EXPECT_EQ(s.route_next({0, 0, 0}, {3, 0, 0}), TorusPort::kXminus);
+  EXPECT_EQ(s.route_next({3, 0, 0}, {0, 0, 0}), TorusPort::kXplus);
+}
+
+TEST(TorusShape, NeighborWraps) {
+  TorusShape s{4, 2, 1};
+  EXPECT_EQ(s.neighbor({3, 0, 0}, TorusPort::kXplus), (TorusCoord{0, 0, 0}));
+  EXPECT_EQ(s.neighbor({0, 0, 0}, TorusPort::kXminus), (TorusCoord{3, 0, 0}));
+  EXPECT_EQ(s.neighbor({0, 1, 0}, TorusPort::kYplus), (TorusCoord{0, 0, 0}));
+  // Z dimension of size 1 wraps to itself.
+  EXPECT_EQ(s.neighbor({1, 1, 0}, TorusPort::kZplus), (TorusCoord{1, 1, 0}));
+}
+
+TEST(TorusShape, HopCount) {
+  TorusShape s{4, 2, 1};
+  EXPECT_EQ(s.hop_count({0, 0, 0}, {0, 0, 0}), 0);
+  EXPECT_EQ(s.hop_count({0, 0, 0}, {1, 0, 0}), 1);
+  EXPECT_EQ(s.hop_count({0, 0, 0}, {3, 0, 0}), 1);  // wrap
+  EXPECT_EQ(s.hop_count({0, 0, 0}, {2, 1, 0}), 3);
+}
+
+TEST(TorusShape, RoutingAlwaysConverges) {
+  // Property: following route_next from any source reaches any
+  // destination in exactly hop_count steps.
+  TorusShape s{4, 2, 2};
+  for (int from = 0; from < s.size(); ++from) {
+    for (int to = 0; to < s.size(); ++to) {
+      TorusCoord here = s.coord(from);
+      TorusCoord dst = s.coord(to);
+      int hops = 0;
+      while (!(here == dst)) {
+        TorusPort p = s.route_next(here, dst);
+        ASSERT_NE(p, TorusPort::kLocal);
+        here = s.neighbor(here, p);
+        ASSERT_LE(++hops, 16) << "routing loop";
+      }
+      EXPECT_EQ(hops, s.hop_count(s.coord(from), dst));
+    }
+  }
+}
+
+TEST(TorusShape, PortNames) {
+  EXPECT_STREQ(port_name(TorusPort::kXplus), "X+");
+  EXPECT_STREQ(port_name(TorusPort::kZminus), "Z-");
+  EXPECT_STREQ(port_name(TorusPort::kLocal), "local");
+}
+
+}  // namespace
+}  // namespace apn::core

@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+
+namespace apn::units {
+namespace {
+
+TEST(Units, TimeConversionsRoundTrip) {
+  EXPECT_EQ(ns(1), 1000);
+  EXPECT_EQ(us(1), 1000000);
+  EXPECT_EQ(ms(1), 1000000000);
+  EXPECT_EQ(sec(1), 1000000000000);
+  EXPECT_DOUBLE_EQ(to_us(us(12.5)), 12.5);
+  EXPECT_DOUBLE_EQ(to_ns(ns(3)), 3.0);
+  EXPECT_DOUBLE_EQ(to_sec(sec(2)), 2.0);
+}
+
+TEST(Units, Sizes) {
+  EXPECT_EQ(KiB(4), 4096u);
+  EXPECT_EQ(MiB(1), 1048576u);
+  EXPECT_EQ(GiB(3), 3ull * 1024 * 1024 * 1024);
+}
+
+TEST(Units, Rates) {
+  EXPECT_DOUBLE_EQ(MBps(1), 1e6);
+  EXPECT_DOUBLE_EQ(GBps(2.5), 2.5e9);
+  // 28 Gbps (the APEnet+ torus link) = 3.5 GB/s.
+  EXPECT_DOUBLE_EQ(Gbps(28), 3.5e9);
+}
+
+TEST(Units, TransferTime) {
+  // 1 GB/s => 1 byte takes 1 ns.
+  EXPECT_EQ(transfer_time(1, 1e9), 1000);
+  // 4 KB at 4 GB/s = 1 us.
+  EXPECT_EQ(transfer_time(4096, 4e9), 1024000);
+  EXPECT_EQ(transfer_time(0, 1e9), 0);
+  // Sub-picosecond transfers round up to 1 ps, never 0.
+  EXPECT_GE(transfer_time(1, 1e15), 1);
+}
+
+TEST(Units, BandwidthOfElapsed) {
+  // 1 MiB in 1 ms => ~1049 MB/s.
+  double mbps = bandwidth_MBps(1 << 20, ms(1));
+  EXPECT_NEAR(mbps, 1048.576, 1e-6);
+  EXPECT_EQ(bandwidth_MBps(100, 0), 0.0);
+}
+
+TEST(Units, TransferTimeInverseOfBandwidth) {
+  for (double rate : {1e6, 1e8, 1.55e9, 3.5e9}) {
+    for (std::uint64_t bytes : {4096ull, 1ull << 20, 32768ull}) {
+      Time t = transfer_time(bytes, rate);
+      double back = bandwidth_MBps(bytes, t);
+      EXPECT_NEAR(back, rate / 1e6, rate / 1e6 * 1e-3);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace apn::units
