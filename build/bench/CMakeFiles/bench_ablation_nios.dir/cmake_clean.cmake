@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_nios.dir/bench_ablation_nios.cpp.o"
+  "CMakeFiles/bench_ablation_nios.dir/bench_ablation_nios.cpp.o.d"
+  "bench_ablation_nios"
+  "bench_ablation_nios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_nios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_bidirectional.dir/bench_ext_bidirectional.cpp.o"
+  "CMakeFiles/bench_ext_bidirectional.dir/bench_ext_bidirectional.cpp.o.d"
+  "bench_ext_bidirectional"
+  "bench_ext_bidirectional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_bidirectional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_hsg2d.dir/bench_ext_hsg2d.cpp.o"
+  "CMakeFiles/bench_ext_hsg2d.dir/bench_ext_hsg2d.cpp.o.d"
+  "bench_ext_hsg2d"
+  "bench_ext_hsg2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_hsg2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

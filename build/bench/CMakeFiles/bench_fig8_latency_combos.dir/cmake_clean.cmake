@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_latency_combos.dir/bench_fig8_latency_combos.cpp.o"
+  "CMakeFiles/bench_fig8_latency_combos.dir/bench_fig8_latency_combos.cpp.o.d"
+  "bench_fig8_latency_combos"
+  "bench_fig8_latency_combos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_latency_combos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

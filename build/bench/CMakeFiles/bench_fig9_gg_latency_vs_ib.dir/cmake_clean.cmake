@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_gg_latency_vs_ib.dir/bench_fig9_gg_latency_vs_ib.cpp.o"
+  "CMakeFiles/bench_fig9_gg_latency_vs_ib.dir/bench_fig9_gg_latency_vs_ib.cpp.o.d"
+  "bench_fig9_gg_latency_vs_ib"
+  "bench_fig9_gg_latency_vs_ib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_gg_latency_vs_ib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig9_gg_latency_vs_ib.
+# This may be replaced when dependencies are built.

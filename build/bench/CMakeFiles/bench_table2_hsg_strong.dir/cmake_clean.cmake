@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_hsg_strong.dir/bench_table2_hsg_strong.cpp.o"
+  "CMakeFiles/bench_table2_hsg_strong.dir/bench_table2_hsg_strong.cpp.o.d"
+  "bench_table2_hsg_strong"
+  "bench_table2_hsg_strong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_hsg_strong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

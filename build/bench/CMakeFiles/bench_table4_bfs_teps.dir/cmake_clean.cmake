@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_bfs_teps.dir/bench_table4_bfs_teps.cpp.o"
+  "CMakeFiles/bench_table4_bfs_teps.dir/bench_table4_bfs_teps.cpp.o.d"
+  "bench_table4_bfs_teps"
+  "bench_table4_bfs_teps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_bfs_teps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

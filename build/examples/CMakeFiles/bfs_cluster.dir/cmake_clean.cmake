@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfs_cluster.dir/bfs_cluster.cpp.o"
+  "CMakeFiles/bfs_cluster.dir/bfs_cluster.cpp.o.d"
+  "bfs_cluster"
+  "bfs_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfs_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

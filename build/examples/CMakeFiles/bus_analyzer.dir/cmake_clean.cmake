@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bus_analyzer.dir/bus_analyzer.cpp.o"
+  "CMakeFiles/bus_analyzer.dir/bus_analyzer.cpp.o.d"
+  "bus_analyzer"
+  "bus_analyzer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bus_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

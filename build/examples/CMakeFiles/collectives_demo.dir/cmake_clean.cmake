@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collectives_demo.dir/collectives_demo.cpp.o"
+  "CMakeFiles/collectives_demo.dir/collectives_demo.cpp.o.d"
+  "collectives_demo"
+  "collectives_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collectives_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apn_apps.dir/bfs/bfs.cpp.o"
+  "CMakeFiles/apn_apps.dir/bfs/bfs.cpp.o.d"
+  "CMakeFiles/apn_apps.dir/bfs/graph.cpp.o"
+  "CMakeFiles/apn_apps.dir/bfs/graph.cpp.o.d"
+  "CMakeFiles/apn_apps.dir/hsg/lattice.cpp.o"
+  "CMakeFiles/apn_apps.dir/hsg/lattice.cpp.o.d"
+  "CMakeFiles/apn_apps.dir/hsg/lattice2d.cpp.o"
+  "CMakeFiles/apn_apps.dir/hsg/lattice2d.cpp.o.d"
+  "CMakeFiles/apn_apps.dir/hsg/runner.cpp.o"
+  "CMakeFiles/apn_apps.dir/hsg/runner.cpp.o.d"
+  "CMakeFiles/apn_apps.dir/hsg/runner2d.cpp.o"
+  "CMakeFiles/apn_apps.dir/hsg/runner2d.cpp.o.d"
+  "libapn_apps.a"
+  "libapn_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apn_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apn_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/apn_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/apn_cluster.dir/collectives.cpp.o"
+  "CMakeFiles/apn_cluster.dir/collectives.cpp.o.d"
+  "CMakeFiles/apn_cluster.dir/harness.cpp.o"
+  "CMakeFiles/apn_cluster.dir/harness.cpp.o.d"
+  "libapn_cluster.a"
+  "libapn_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apn_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/card.cpp" "src/core/CMakeFiles/apn_core.dir/card.cpp.o" "gcc" "src/core/CMakeFiles/apn_core.dir/card.cpp.o.d"
+  "/root/repo/src/core/gpu_p2p_tx.cpp" "src/core/CMakeFiles/apn_core.dir/gpu_p2p_tx.cpp.o" "gcc" "src/core/CMakeFiles/apn_core.dir/gpu_p2p_tx.cpp.o.d"
+  "/root/repo/src/core/network.cpp" "src/core/CMakeFiles/apn_core.dir/network.cpp.o" "gcc" "src/core/CMakeFiles/apn_core.dir/network.cpp.o.d"
+  "/root/repo/src/core/rdma.cpp" "src/core/CMakeFiles/apn_core.dir/rdma.cpp.o" "gcc" "src/core/CMakeFiles/apn_core.dir/rdma.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpu/CMakeFiles/apn_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcuda/CMakeFiles/apn_simcuda.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/apn_pcie.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

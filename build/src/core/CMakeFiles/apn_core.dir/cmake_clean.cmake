@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apn_core.dir/card.cpp.o"
+  "CMakeFiles/apn_core.dir/card.cpp.o.d"
+  "CMakeFiles/apn_core.dir/gpu_p2p_tx.cpp.o"
+  "CMakeFiles/apn_core.dir/gpu_p2p_tx.cpp.o.d"
+  "CMakeFiles/apn_core.dir/network.cpp.o"
+  "CMakeFiles/apn_core.dir/network.cpp.o.d"
+  "CMakeFiles/apn_core.dir/rdma.cpp.o"
+  "CMakeFiles/apn_core.dir/rdma.cpp.o.d"
+  "libapn_core.a"
+  "libapn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

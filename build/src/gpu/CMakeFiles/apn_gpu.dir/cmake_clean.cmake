@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apn_gpu.dir/gpu.cpp.o"
+  "CMakeFiles/apn_gpu.dir/gpu.cpp.o.d"
+  "libapn_gpu.a"
+  "libapn_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apn_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apn_ib.dir/hca.cpp.o"
+  "CMakeFiles/apn_ib.dir/hca.cpp.o.d"
+  "libapn_ib.a"
+  "libapn_ib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apn_ib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apn_minimpi.dir/comm.cpp.o"
+  "CMakeFiles/apn_minimpi.dir/comm.cpp.o.d"
+  "libapn_minimpi.a"
+  "libapn_minimpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apn_minimpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apn_pcie.dir/fabric.cpp.o"
+  "CMakeFiles/apn_pcie.dir/fabric.cpp.o.d"
+  "libapn_pcie.a"
+  "libapn_pcie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apn_pcie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

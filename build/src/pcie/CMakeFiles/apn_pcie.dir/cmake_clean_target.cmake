@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libapn_pcie.a"
+)

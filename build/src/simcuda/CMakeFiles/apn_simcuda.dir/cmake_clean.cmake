@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apn_simcuda.dir/runtime.cpp.o"
+  "CMakeFiles/apn_simcuda.dir/runtime.cpp.o.d"
+  "libapn_simcuda.a"
+  "libapn_simcuda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apn_simcuda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for apn_simcuda.
+# This may be replaced when dependencies are built.

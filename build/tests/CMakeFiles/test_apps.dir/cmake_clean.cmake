@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps.dir/test_bfs.cpp.o"
+  "CMakeFiles/test_apps.dir/test_bfs.cpp.o.d"
+  "CMakeFiles/test_apps.dir/test_hsg.cpp.o"
+  "CMakeFiles/test_apps.dir/test_hsg.cpp.o.d"
+  "CMakeFiles/test_apps.dir/test_hsg2d.cpp.o"
+  "CMakeFiles/test_apps.dir/test_hsg2d.cpp.o.d"
+  "test_apps"
+  "test_apps.pdb"
+  "test_apps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

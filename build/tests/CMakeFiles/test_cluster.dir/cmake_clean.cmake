@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cluster.dir/test_cluster.cpp.o"
+  "CMakeFiles/test_cluster.dir/test_cluster.cpp.o.d"
+  "CMakeFiles/test_cluster.dir/test_collectives.cpp.o"
+  "CMakeFiles/test_cluster.dir/test_collectives.cpp.o.d"
+  "CMakeFiles/test_cluster.dir/test_harness.cpp.o"
+  "CMakeFiles/test_cluster.dir/test_harness.cpp.o.d"
+  "CMakeFiles/test_cluster.dir/test_scaleout.cpp.o"
+  "CMakeFiles/test_cluster.dir/test_scaleout.cpp.o.d"
+  "test_cluster"
+  "test_cluster.pdb"
+  "test_cluster[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bar1_put.cpp" "tests/CMakeFiles/test_core.dir/test_bar1_put.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_bar1_put.cpp.o.d"
+  "/root/repo/tests/test_card_rx.cpp" "tests/CMakeFiles/test_core.dir/test_card_rx.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_card_rx.cpp.o.d"
+  "/root/repo/tests/test_card_tx.cpp" "tests/CMakeFiles/test_core.dir/test_card_tx.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_card_tx.cpp.o.d"
+  "/root/repo/tests/test_gpu_p2p_tx.cpp" "tests/CMakeFiles/test_core.dir/test_gpu_p2p_tx.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_gpu_p2p_tx.cpp.o.d"
+  "/root/repo/tests/test_network.cpp" "tests/CMakeFiles/test_core.dir/test_network.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_network.cpp.o.d"
+  "/root/repo/tests/test_rdma_api.cpp" "tests/CMakeFiles/test_core.dir/test_rdma_api.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_rdma_api.cpp.o.d"
+  "/root/repo/tests/test_torus.cpp" "tests/CMakeFiles/test_core.dir/test_torus.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_torus.cpp.o.d"
+  "/root/repo/tests/test_v2p.cpp" "tests/CMakeFiles/test_core.dir/test_v2p.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_v2p.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pcie/CMakeFiles/apn_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/apn_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcuda/CMakeFiles/apn_simcuda.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/apn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ib/CMakeFiles/apn_ib.dir/DependInfo.cmake"
+  "/root/repo/build/src/minimpi/CMakeFiles/apn_minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/apn_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/apn_apps.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/test_bar1_put.cpp.o"
+  "CMakeFiles/test_core.dir/test_bar1_put.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_card_rx.cpp.o"
+  "CMakeFiles/test_core.dir/test_card_rx.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_card_tx.cpp.o"
+  "CMakeFiles/test_core.dir/test_card_tx.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_gpu_p2p_tx.cpp.o"
+  "CMakeFiles/test_core.dir/test_gpu_p2p_tx.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_network.cpp.o"
+  "CMakeFiles/test_core.dir/test_network.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_rdma_api.cpp.o"
+  "CMakeFiles/test_core.dir/test_rdma_api.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_torus.cpp.o"
+  "CMakeFiles/test_core.dir/test_torus.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_v2p.cpp.o"
+  "CMakeFiles/test_core.dir/test_v2p.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

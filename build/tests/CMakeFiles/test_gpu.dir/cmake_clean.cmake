@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpu.dir/test_device_memory.cpp.o"
+  "CMakeFiles/test_gpu.dir/test_device_memory.cpp.o.d"
+  "CMakeFiles/test_gpu.dir/test_gpu_device.cpp.o"
+  "CMakeFiles/test_gpu.dir/test_gpu_device.cpp.o.d"
+  "test_gpu"
+  "test_gpu.pdb"
+  "test_gpu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pcie.dir/test_fabric.cpp.o"
+  "CMakeFiles/test_pcie.dir/test_fabric.cpp.o.d"
+  "CMakeFiles/test_pcie.dir/test_link.cpp.o"
+  "CMakeFiles/test_pcie.dir/test_link.cpp.o.d"
+  "CMakeFiles/test_pcie.dir/test_memory.cpp.o"
+  "CMakeFiles/test_pcie.dir/test_memory.cpp.o.d"
+  "test_pcie"
+  "test_pcie.pdb"
+  "test_pcie[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pcie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/test_channel.cpp.o"
+  "CMakeFiles/test_sim.dir/test_channel.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_coro.cpp.o"
+  "CMakeFiles/test_sim.dir/test_coro.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_resource.cpp.o"
+  "CMakeFiles/test_sim.dir/test_resource.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_sim_stress.cpp.o"
+  "CMakeFiles/test_sim.dir/test_sim_stress.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_simulator.cpp.o"
+  "CMakeFiles/test_sim.dir/test_simulator.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_sync.cpp.o"
+  "CMakeFiles/test_sim.dir/test_sync.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simcuda.dir/test_runtime.cpp.o"
+  "CMakeFiles/test_simcuda.dir/test_runtime.cpp.o.d"
+  "CMakeFiles/test_simcuda.dir/test_stream.cpp.o"
+  "CMakeFiles/test_simcuda.dir/test_stream.cpp.o.d"
+  "test_simcuda"
+  "test_simcuda.pdb"
+  "test_simcuda[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simcuda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
