@@ -4,13 +4,43 @@
 // transaction trace.
 //
 //   $ ./examples/bus_analyzer
+//   $ ./examples/bus_analyzer --trace-out=fig3.json   # Perfetto timeline
+//
+// With --trace-out (or APN_TRACE=1) the run also produces a Chrome
+// trace-event JSON: load it in https://ui.perfetto.dev to see the protocol
+// phases as distinct spans — the card's TX setup ("tx_setup"), the GPU's
+// head latency ("p2p_head") and response streaming ("p2p_stream"), and the
+// raw bus transactions mirrored from both analyzer slots.
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "cluster/cluster.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
 
 using namespace apn;
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--trace-out") == 0) {
+      trace_path = "bus_analyzer_trace.json";
+    } else if (std::strncmp(a, "--trace-out=", 12) == 0) {
+      trace_path = a + 12;
+      if (trace_path.empty()) trace_path = "bus_analyzer_trace.json";
+    } else {
+      std::fprintf(stderr, "usage: %s [--trace-out[=path]]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  // The sink must be live before the cluster is built: components open
+  // their trace tracks at construction time.
+  trace::TraceSink local_sink;
+  if (!trace_path.empty()) trace::set_sink(&local_sink);
+
   sim::Simulator sim;
   core::ApenetParams params;
   params.flush_at_switch = true;
@@ -22,6 +52,10 @@ int main() {
   pcie::BusAnalyzer card_slot, gpu_slot;
   node.fabric().attach_analyzer(node.card_pcie_node(), card_slot);
   node.fabric().attach_analyzer(node.gpu_pcie_node(0), gpu_slot);
+  card_slot.bind_trace(
+      trace::Track::open(node.fabric().name(), "analyzer.apenet_slot"));
+  gpu_slot.bind_trace(
+      trace::Track::open(node.fabric().name(), "analyzer.gpu_slot"));
 
   const std::uint64_t kMsg = 64 * 1024;
   [](cluster::Cluster* c, std::uint64_t n) -> sim::Coro {
@@ -40,8 +74,8 @@ int main() {
   for (const auto& ev : gpu_slot.events()) {
     if (shown++ >= 10) break;
     std::printf("%12.3f %-6s %6u %5s\n", units::to_us(ev.time),
-                ev.kind == pcie::BusEvent::Kind::kWrite ? "MWr" : "other",
-                ev.bytes, ev.downstream ? "down" : "up");
+                pcie::bus_kind_name(ev.kind), ev.bytes,
+                ev.downstream ? "down" : "up");
   }
   std::printf("  ... (%zu transactions total: 32 B read-request descriptors "
               "into the P2P mailbox)\n",
@@ -60,8 +94,8 @@ int main() {
     }
     if (shown++ < 10)
       std::printf("%12.3f %-6s %6u %5s\n", units::to_us(ev.time),
-                  ev.kind == pcie::BusEvent::Kind::kWrite ? "MWr" : "other",
-                  ev.bytes, ev.downstream ? "down" : "up");
+                  pcie::bus_kind_name(ev.kind), ev.bytes,
+                  ev.downstream ? "down" : "up");
   }
   std::printf("  ... (%zu transactions total)\n", card_slot.events().size());
   std::printf(
@@ -69,5 +103,17 @@ int main() {
       "%.1f us -> %.0f MB/s P2P read bandwidth (Fermi ceiling ~1.5 GB/s).\n",
       static_cast<unsigned long long>(data), units::to_us(last - first),
       units::bandwidth_MBps(data, last - first));
+
+  if (!trace_path.empty()) {
+    if (local_sink.write_chrome_json(trace_path))
+      std::printf("\nwrote %zu trace events to %s "
+                  "(load in https://ui.perfetto.dev)\n",
+                  local_sink.size(), trace_path.c_str());
+    else
+      std::fprintf(stderr, "\nfailed to write %s\n", trace_path.c_str());
+    std::printf("\nmetrics:\n%s",
+                trace::MetricsRegistry::global().text().c_str());
+    trace::set_sink(nullptr);
+  }
   return 0;
 }

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "trace/trace.hpp"
+
 namespace apn::cluster {
 
 namespace {
@@ -26,7 +28,8 @@ Node::Node(sim::Simulator& sim, int index, core::TorusCoord coord,
            const NodeConfig& cfg, const core::ApenetParams& apn_params,
            const ib::HcaParams& ib_params)
     : index_(index) {
-  fabric_ = std::make_unique<pcie::Fabric>(sim);
+  fabric_ = std::make_unique<pcie::Fabric>(
+      sim, 4096, "node" + std::to_string(index) + ".pcie");
   int root = fabric_->add_root("rc" + std::to_string(index));
 
   hostmem_ = std::make_unique<pcie::HostMemory>(sim, cfg.hostmem);
@@ -43,7 +46,8 @@ Node::Node(sim::Simulator& sim, int index, core::TorusCoord coord,
   for (std::size_t g = 0; g < cfg.gpus.size(); ++g) {
     auto gp = std::make_unique<gpu::Gpu>(
         sim, *fabric_, cfg.gpus[g],
-        base + ((static_cast<std::uint64_t>(g) + 1) << 32));
+        base + ((static_cast<std::uint64_t>(g) + 1) << 32),
+        "gpu" + std::to_string(g));
     gpu_nodes_.push_back(fabric_->attach(*gp, plx_, cfg.gpu_slot));
     fabric_->claim_range(*gp, gp->mmio_base(), gp->mmio_size());
     gpu_ptrs.push_back(gp.get());
@@ -71,6 +75,9 @@ Cluster::Cluster(sim::Simulator& sim, core::TorusShape shape, NodeConfig cfg,
                  core::ApenetParams apn_params, ib::HcaParams ib_params,
                  mpi::MpiParams mpi_params)
     : sim_(&sim), shape_(shape) {
+  // Honor APN_TRACE for every binary that assembles a cluster: the sink
+  // must exist before components open their trace tracks.
+  trace::init_from_env();
   for (int i = 0; i < shape.size(); ++i) {
     nodes_.push_back(std::make_unique<Node>(sim, i, shape.coord(i), cfg,
                                             apn_params, ib_params));

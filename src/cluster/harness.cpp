@@ -2,9 +2,22 @@
 
 #include <algorithm>
 
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
+
 namespace apn::cluster {
 
 namespace {
+
+/// Record one harness measurement: a span on the shared "harness" trace
+/// track plus a histogram/gauge pair in the global metrics registry.
+void record_measurement(const char* name, Time t0, Time t_end, double value,
+                        const char* unit) {
+  trace::Track::open("harness", "measurements")
+      .span("harness", name, t0, t_end, {{"value", value}});
+  auto& m = trace::MetricsRegistry::global();
+  m.histogram(std::string("harness.") + name + "_" + unit).observe(value);
+}
 
 /// A test buffer of the requested memory type on one node. Host buffers
 /// are page-aligned so the card's V2P scatter behaviour — and therefore
@@ -70,6 +83,7 @@ BwResult loopback_bandwidth(Cluster& c, int node, core::MemType src_type,
   r.bytes = size * static_cast<std::uint64_t>(count);
   r.elapsed = sh->t_end - sh->t0;
   r.mbps = units::bandwidth_MBps(r.bytes, r.elapsed);
+  record_measurement("loopback_bw", sh->t0, sh->t_end, r.mbps, "mbps");
   return r;
 }
 
@@ -138,6 +152,7 @@ BwResult twonode_bandwidth(Cluster& c, std::uint64_t size, int count,
   r.bytes = size * static_cast<std::uint64_t>(count);
   r.elapsed = sh->t_end - sh->t0;
   r.mbps = units::bandwidth_MBps(r.bytes, r.elapsed);
+  record_measurement("twonode_bw", sh->t0, sh->t_end, r.mbps, "mbps");
   return r;
 }
 
@@ -212,7 +227,10 @@ Time pingpong_latency(Cluster& c, std::uint64_t size, int reps,
   endpoint(&c, 1, src1, dst1, gpu1, host1, dst0.addr, size, reps, opt, sh,
            ready_count);
   c.simulator().run();
-  return (sh->t_end - sh->t0) / (2 * reps);
+  const Time half_rtt = (sh->t_end - sh->t0) / (2 * reps);
+  record_measurement("pingpong", sh->t0, sh->t_end,
+                     static_cast<double>(half_rtt) / 1e6, "us");
+  return half_rtt;
 }
 
 Time host_overhead(Cluster& c, std::uint64_t size, int count,
@@ -266,7 +284,10 @@ Time host_overhead(Cluster& c, std::uint64_t size, int count,
   }(&c, src, host, dst, size, count, opt, window, sh);
 
   c.simulator().run();
-  return (sh->t_end - sh->t0) / count;
+  const Time per_msg = (sh->t_end - sh->t0) / count;
+  record_measurement("host_overhead", sh->t0, sh->t_end,
+                     static_cast<double>(per_msg) / 1e6, "us");
+  return per_msg;
 }
 
 // ---------------------------------------------------------------------------

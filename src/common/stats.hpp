@@ -48,10 +48,15 @@ class OnlineStats {
   double max_ = -std::numeric_limits<double>::infinity();
 };
 
-/// Sample container with percentile queries (copies + sorts on demand).
+/// Sample container with percentile queries. The sorted view is cached and
+/// only rebuilt after new samples arrive, so repeated percentile() calls
+/// (e.g. a p50/p95/p99 report line) sort once.
 class Samples {
  public:
-  void add(double x) { values_.push_back(x); }
+  void add(double x) {
+    values_.push_back(x);
+    sorted_dirty_ = true;
+  }
   std::size_t count() const { return values_.size(); }
   bool empty() const { return values_.empty(); }
 
@@ -62,34 +67,50 @@ class Samples {
     return s / static_cast<double>(values_.size());
   }
 
+  // Extrema are NaN on an empty set (same contract as OnlineStats) —
+  // 0.0 would be indistinguishable from a real measurement.
   double min() const {
-    return values_.empty() ? 0.0
-                           : *std::min_element(values_.begin(), values_.end());
+    return values_.empty() ? std::numeric_limits<double>::quiet_NaN()
+                           : sorted().front();
   }
   double max() const {
-    return values_.empty() ? 0.0
-                           : *std::max_element(values_.begin(), values_.end());
+    return values_.empty() ? std::numeric_limits<double>::quiet_NaN()
+                           : sorted().back();
   }
 
   /// Percentile in [0,100], nearest-rank with linear interpolation.
   double percentile(double p) const {
     if (values_.empty()) return 0.0;
-    std::vector<double> sorted = values_;
-    std::sort(sorted.begin(), sorted.end());
-    if (sorted.size() == 1) return sorted.front();
-    double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    const std::vector<double>& s = sorted();
+    if (s.size() == 1) return s.front();
+    double rank = p / 100.0 * static_cast<double>(s.size() - 1);
     std::size_t lo = static_cast<std::size_t>(rank);
-    std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    std::size_t hi = std::min(lo + 1, s.size() - 1);
     double frac = rank - static_cast<double>(lo);
-    return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+    return s[lo] + frac * (s[hi] - s[lo]);
   }
 
   double median() const { return percentile(50.0); }
   const std::vector<double>& values() const { return values_; }
-  void reset() { values_.clear(); }
+  void reset() {
+    values_.clear();
+    sorted_.clear();
+    sorted_dirty_ = false;
+  }
 
  private:
+  const std::vector<double>& sorted() const {
+    if (sorted_dirty_) {
+      sorted_ = values_;
+      std::sort(sorted_.begin(), sorted_.end());
+      sorted_dirty_ = false;
+    }
+    return sorted_;
+  }
+
   std::vector<double> values_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_dirty_ = false;
 };
 
 }  // namespace apn

@@ -24,6 +24,14 @@ ApenetCard::ApenetCard(sim::Simulator& sim, pcie::Fabric& fabric,
       host_read_window_(sim, params_.host_read_window),
       rx_queue_(sim),
       rx_events_(sim) {
+  set_pcie_name("apenet");
+  trace_rx_ = trace::Track::open(fabric.name(), "apenet.rx");
+  trace_host_tx_ = trace::Track::open(fabric.name(), "apenet.host_tx");
+  auto& m = trace::MetricsRegistry::global();
+  m_rx_packets_ = &m.counter("card.rx.packets");
+  m_rx_drops_ = &m.counter("card.rx.drops");
+  m_rx_bytes_ = &m.counter("card.rx.bytes");
+  m_tx_packets_ = &m.counter("card.tx.packets");
   gpu_tx_ = std::make_unique<GpuP2pTx>(*this, params_);
   host_tx_engine();
   rx_processor();
@@ -34,6 +42,8 @@ ApenetCard::~ApenetCard() = default;
 void ApenetCard::set_link(TorusPort port, sim::Channel* out,
                           ApenetCard* neighbor) {
   links_[static_cast<std::size_t>(port)] = LinkOut{out, neighbor};
+  trace_links_[static_cast<std::size_t>(port)] = trace::Track::open(
+      fabric_->name(), std::string("apenet.link.") + port_name(port));
 }
 
 void ApenetCard::add_buffer(BufListEntry entry) {
@@ -119,6 +129,7 @@ struct HostAsm {
 sim::Coro ApenetCard::host_tx_engine() {
   for (;;) {
     TxDescriptor d = co_await host_tx_queue_.pop();
+    const Time t_job = sim_->now();
     co_await sim::delay(*sim_, params_.descriptor_fetch);
     const std::uint32_t total = d.proto.msg_bytes;
     auto as = std::make_shared<HostAsm>(*sim_);
@@ -182,6 +193,9 @@ sim::Coro ApenetCard::host_tx_engine() {
     if (total > 0) {
       co_await as->all_arrived.wait();
     }
+    // Descriptor fetch + DMA reads of the full message from host memory.
+    trace_host_tx_.span("card", "host_tx_job", t_job, sim_->now(),
+                        {{"bytes", total}});
   }
 }
 
@@ -195,6 +209,7 @@ void ApenetCard::inject(ApPacket pkt, std::function<void()> on_sent) {
                                                on_sent =
                                                    std::move(on_sent)] {
     ++packets_injected_;
+    m_tx_packets_->inc();
     if (params_.flush_at_switch) {
       // Test hook: the packet evaporates inside the switch.
       sim_->after(params_.router_latency, on_sent);
@@ -214,11 +229,23 @@ void ApenetCard::inject(ApPacket pkt, std::function<void()> on_sent) {
       sim_->after(params_.router_latency, on_sent);
       return;
     }
-    sim_->after(params_.router_latency, [this, sp, &l, on_sent] {
-      l.channel->send(
-          sp->wire_bytes(),
-          [nb = l.neighbor, sp] { nb->receive_from_link(std::move(*sp)); },
-          on_sent);
+    sim_->after(params_.router_latency, [this, sp, &l, port, on_sent] {
+      const trace::Track& lt = trace_links_[static_cast<std::size_t>(port)];
+      auto deliver = [nb = l.neighbor, sp] {
+        nb->receive_from_link(std::move(*sp));
+      };
+      if (!lt) {
+        l.channel->send(sp->wire_bytes(), std::move(deliver), on_sent);
+        return;
+      }
+      const Time t0 = sim_->now();
+      const std::uint64_t wire = sp->wire_bytes();
+      l.channel->send(wire, std::move(deliver),
+                      [this, &lt, t0, wire, on_sent] {
+                        lt.span("torus", "pkt", t0, sim_->now(),
+                                {{"wire_bytes", wire}});
+                        if (on_sent) on_sent();
+                      });
     });
   });
 }
@@ -259,12 +286,23 @@ sim::Coro ApenetCard::rx_processor() {
   for (;;) {
     ApPacket pkt = co_await rx_queue_.pop();
     ++packets_received_;
+    m_rx_packets_->inc();
+    const Time t_pkt = sim_->now();
     const BufListEntry* entry =
         find_buffer(pkt.hdr.dst_vaddr, pkt.hdr.dst_pid);
     // Firmware: BUF_LIST traversal + V2P translation + RX DMA programming.
     co_await nios_.use(rx_task_time(entry != nullptr && entry->is_gpu));
+    // The span covers Nios queue wait + processing — the queueing is the
+    // contention the paper identifies, so it belongs in the picture.
+    trace_rx_.span("card", "rx_nios", t_pkt, sim_->now(),
+                   {{"vaddr", pkt.hdr.dst_vaddr},
+                    {"bytes", pkt.payload.bytes},
+                    {"gpu_dest", entry != nullptr && entry->is_gpu}});
     if (entry == nullptr) {
       ++rx_drops_;
+      m_rx_drops_->inc();
+      trace_rx_.instant("card", "rx_drop", sim_->now(),
+                        {{"vaddr", pkt.hdr.dst_vaddr}});
       log_.warn(sim_->now(),
                 "RX drop: no BUF_LIST entry for vaddr 0x%llx (pid %u)",
                 static_cast<unsigned long long>(pkt.hdr.dst_vaddr),
@@ -278,6 +316,7 @@ sim::Coro ApenetCard::rx_processor() {
 void ApenetCard::deliver_rx_write(const ApPacket& pkt,
                                   const BufListEntry& entry) {
   rx_bytes_ += pkt.payload.bytes;
+  m_rx_bytes_->add(pkt.payload.bytes);
   if (!entry.is_gpu) {
     // Host destination: the RX RDMA logic converts the virtual address
     // into a scatter list of 4 KB physical pages (paper §III-B) and emits

@@ -33,6 +33,8 @@
 #include "sim/coro.hpp"
 #include "sim/resource.hpp"
 #include "sim/sync.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
 
 namespace apn::core {
 
@@ -183,6 +185,15 @@ class ApenetCard : public pcie::Device {
   std::uint64_t packets_received_ = 0;
   std::uint64_t rx_drops_ = 0;
   std::uint64_t rx_bytes_ = 0;
+
+  // Observability (inert unless a trace sink is installed; see src/trace).
+  trace::Track trace_rx_;       ///< RX RDMA engine lane (Nios + delivery)
+  trace::Track trace_host_tx_;  ///< host-buffer TX engine lane
+  std::array<trace::Track, kTorusPorts> trace_links_{};  ///< torus channels
+  trace::Counter* m_rx_packets_;
+  trace::Counter* m_rx_drops_;
+  trace::Counter* m_rx_bytes_;
+  trace::Counter* m_tx_packets_;
 };
 
 }  // namespace apn::core

@@ -15,6 +15,10 @@ GpuP2pTx::GpuP2pTx(ApenetCard& card, const ApenetParams& params)
       jobs_(sim_),
       window_(sim_, params.p2p_prefetch_window),
       fifo_(sim_, params.gpu_tx_fifo_bytes) {
+  trace_ = trace::Track::open(card.fabric().name(), "apenet.gpu_tx");
+  auto& m = trace::MetricsRegistry::global();
+  m_requests_ = &m.counter("card.gpu_tx.requests");
+  m_bytes_ = &m.counter("card.gpu_tx.bytes");
   engine();
 }
 
@@ -23,6 +27,9 @@ void GpuP2pTx::submit(GpuTxJob job) { jobs_.push(std::move(job)); }
 void GpuP2pTx::issue_request(gpu::Gpu& gpu, std::uint64_t dev_offset,
                              std::uint32_t len) {
   ++requests_issued_;
+  m_requests_->inc();
+  trace_.instant("card", "p2p_req", sim_.now(),
+                 {{"dev_offset", dev_offset}, {"bytes", len}});
   gpu::P2pReadDescriptor desc{};
   desc.dev_offset = dev_offset;
   desc.len = len;
@@ -40,6 +47,7 @@ void GpuP2pTx::on_data_arrival(pcie::Payload payload) {
   Active& a = *active_;
   std::uint64_t n = payload.bytes;
   bytes_read_ += n;
+  m_bytes_->add(n);
   a.arrived += n;
   if (a.job.carry_data && !payload.data.empty())
     a.buffer.insert(a.buffer.end(), payload.data.begin(), payload.data.end());
@@ -89,6 +97,7 @@ sim::Coro GpuP2pTx::packetize() {
 sim::Coro GpuP2pTx::engine() {
   for (;;) {
     GpuTxJob job = co_await jobs_.pop();
+    const Time t_job = sim_.now();
     const std::uint32_t total = job.proto.msg_bytes;
     gpu::Gpu* gpu = job.gpu;
     active_ = std::make_unique<Active>(sim_, std::move(job));
@@ -119,6 +128,7 @@ sim::Coro GpuP2pTx::engine() {
       // ("limited pre-fetching" in the paper) — which is why the read
       // bandwidth keeps scaling with the window size up to 32 KB (Fig. 4).
       co_await card_.nios_resource().use(params_.nios.tx_gpu_setup);
+      trace_.span("card", "tx_setup", t_job, sim_.now(), {{"bytes", total}});
       packetize();
       while (a.issued < total) {
         const std::uint64_t batch = std::min<std::uint64_t>(
@@ -146,6 +156,7 @@ sim::Coro GpuP2pTx::engine() {
       // fast as window credits and TX FIFO space allow, keeping the GPU
       // read-request queue full, back-reacting only to almost-full FIFOs.
       co_await card_.nios_resource().use(params_.nios.tx_gpu_setup);
+      trace_.span("card", "tx_setup", t_job, sim_.now(), {{"bytes", total}});
       a.uses_window = true;
       packetize();
       std::uint64_t since_refill = 0;
@@ -168,6 +179,10 @@ sim::Coro GpuP2pTx::engine() {
       }
     }
     co_await a.packetize_done->wait();
+    // Whole-job span: TX overhead + GPU read streaming + packet injection.
+    trace_.span("card", "gpu_tx_job", t_job, sim_.now(),
+                {{"bytes", total},
+                 {"version", static_cast<int>(ver) + 1}});
     active_.reset();
   }
 }

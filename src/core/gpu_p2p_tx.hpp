@@ -31,6 +31,8 @@
 #include "gpu/gpu.hpp"
 #include "sim/coro.hpp"
 #include "sim/sync.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
 
 namespace apn::core {
 
@@ -98,6 +100,11 @@ class GpuP2pTx {
 
   std::uint64_t requests_issued_ = 0;
   std::uint64_t bytes_read_ = 0;
+
+  // Observability (inert unless a trace sink is installed; see src/trace).
+  trace::Track trace_;  ///< engine lane: setup / per-job spans, req issues
+  trace::Counter* m_requests_;
+  trace::Counter* m_bytes_;
 };
 
 }  // namespace apn::core

@@ -5,7 +5,7 @@
 namespace apn::gpu {
 
 Gpu::Gpu(sim::Simulator& sim, pcie::Fabric& fabric, GpuArch arch,
-         std::uint64_t mmio_base)
+         std::uint64_t mmio_base, std::string name)
     : sim_(&sim),
       fabric_(&fabric),
       arch_(std::move(arch)),
@@ -16,7 +16,16 @@ Gpu::Gpu(sim::Simulator& sim, pcie::Fabric& fabric, GpuArch arch,
       bar1_line_(sim),
       copy_d2h_(sim),
       copy_h2d_(sim),
-      compute_(sim) {}
+      compute_(sim) {
+  set_pcie_name(name);
+  trace_p2p_ = trace::Track::open(fabric.name(), name + ".p2p");
+  trace_bar1_ = trace::Track::open(fabric.name(), name + ".bar1");
+  auto& m = trace::MetricsRegistry::global();
+  m_p2p_requests_ = &m.counter("gpu.p2p.requests");
+  m_p2p_bytes_ = &m.counter("gpu.p2p.bytes");
+  m_window_switches_ = &m.counter("gpu.window_switches");
+  m_bar1_reads_ = &m.counter("gpu.bar1.reads");
+}
 
 std::uint64_t Gpu::bar1_map(std::uint64_t dev_offset, std::uint64_t size) {
   if (bar1_used_ + size > arch_.bar1_aperture_bytes)
@@ -43,21 +52,35 @@ void Gpu::serve_p2p_request(const P2pReadDescriptor& desc) {
   ++p2p_requests_;
   p2p_bytes_ += desc.len;
   ++p2p_queue_depth_;
+  m_p2p_requests_->inc();
+  m_p2p_bytes_->add(desc.len);
+  const Time t_accept = sim_->now();
   // First data lags the request by the head latency; once flowing, the
   // response engine streams at the architectural P2P rate. Head latencies
   // of back-to-back requests overlap (the engine pipelines), which is what
   // makes prefetching effective for the requester. Responses are emitted
   // as 512 B completion writes, so large (V1-style 4 KB) requests overlap
   // their own PCIe serialization with the response streaming.
-  sim_->after(arch_.p2p_head_latency, [this, desc] {
+  sim_->after(arch_.p2p_head_latency, [this, desc, t_accept] {
     constexpr std::uint32_t kCompletion = 512;
     std::uint32_t off = 0;
     while (off < desc.len) {
       const std::uint32_t sub = std::min(kCompletion, desc.len - off);
       const bool last = off + sub >= desc.len;
       Time stream_time = units::transfer_time(sub, arch_.effective_p2p_rate());
-      p2p_response_line_.post(stream_time, [this, desc, off, sub, last] {
+      p2p_response_line_.post(stream_time, [this, desc, t_accept, off, sub,
+                                            last] {
         if (last) {
+          // The two phases of a served read request (paper Fig. 3): head
+          // latency until the response engine starts, then streaming of
+          // the posted-write completions.
+          const Time t_head = t_accept + arch_.p2p_head_latency;
+          trace_p2p_.span("gpu", "p2p_head", t_accept, t_head,
+                          {{"dev_offset", desc.dev_offset},
+                           {"bytes", desc.len}});
+          trace_p2p_.span("gpu", "p2p_stream", t_head, sim_->now(),
+                          {{"dev_offset", desc.dev_offset},
+                           {"bytes", desc.len}});
           --p2p_queue_depth_;
           if (!p2p_backlog_.empty()) {
             P2pReadDescriptor next = p2p_backlog_.front();
@@ -92,6 +115,9 @@ void Gpu::handle_write(std::uint64_t addr, pcie::Payload payload) {
     if (payload.data.size() >= sizeof(std::uint64_t)) {
       std::memcpy(&window_page_, payload.data.data(), sizeof(window_page_));
       ++window_switches_;
+      m_window_switches_->inc();
+      trace_p2p_.instant("gpu", "window_switch", sim_->now(),
+                         {{"page", window_page_}});
     }
     return;
   }
@@ -132,10 +158,18 @@ void Gpu::handle_read(std::uint64_t addr, std::uint32_t len,
         // 150 MB/s bottleneck).
         Time stream =
             units::transfer_time(len, arch_.effective_bar1_read_rate());
+        m_bar1_reads_->inc();
+        const Time t_req = sim_->now();
         sim_->after(arch_.bar1_read_latency, [this, dev_off, len, stream,
+                                              t_req,
                                               reply = std::move(reply)] {
           bar1_line_.post(stream,
-                          [this, dev_off, len, reply = std::move(reply)] {
+                          [this, dev_off, len, t_req,
+                           reply = std::move(reply)] {
+                            trace_bar1_.span("gpu", "bar1_read", t_req,
+                                             sim_->now(),
+                                             {{"dev_offset", dev_off},
+                                              {"bytes", len}});
                             pcie::Payload p;
                             p.bytes = len;
                             p.data.resize(len);

@@ -32,6 +32,8 @@
 #include "pcie/fabric.hpp"
 #include "sim/resource.hpp"
 #include "sim/simulator.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
 
 namespace apn::gpu {
 
@@ -58,8 +60,10 @@ struct GpuMmio {
 
 class Gpu : public pcie::Device {
  public:
+  /// `name` labels this GPU on the PCIe topology and its trace tracks
+  /// (cluster assembly passes "gpu<i>").
   Gpu(sim::Simulator& sim, pcie::Fabric& fabric, GpuArch arch,
-      std::uint64_t mmio_base);
+      std::uint64_t mmio_base, std::string name = "gpu");
 
   const GpuArch& arch() const { return arch_; }
   DeviceMemory& memory() { return mem_; }
@@ -129,6 +133,14 @@ class Gpu : public pcie::Device {
   std::uint64_t window_switches_ = 0;
   int p2p_queue_depth_ = 0;
   std::deque<P2pReadDescriptor> p2p_backlog_;  ///< beyond the queue depth
+
+  // Observability (inert unless a trace sink is installed; see src/trace).
+  trace::Track trace_p2p_;   ///< P2P engine lane: head latency + streaming
+  trace::Track trace_bar1_;  ///< BAR1 read-completion lane
+  trace::Counter* m_p2p_requests_;
+  trace::Counter* m_p2p_bytes_;
+  trace::Counter* m_window_switches_;
+  trace::Counter* m_bar1_reads_;
 };
 
 }  // namespace apn::gpu

@@ -16,6 +16,7 @@ Hca::Hca(sim::Simulator& sim, pcie::Fabric& fabric,
       tx_queue_(sim),
       read_window_(sim, params.read_window),
       recv_events_(sim) {
+  set_pcie_name("hca");
   tx_engine();
 }
 

@@ -33,6 +33,9 @@ int Fabric::new_node(const std::string& name, int parent, LinkParams link) {
   edge.up = std::make_unique<sim::Channel>(*sim_, cp);
   edge.down = std::make_unique<sim::Channel>(*sim_, cp);
 
+  edge.trace =
+      trace::Track::open(name_, nodes_[parent].name + "<->" + node.name);
+
   edges_.push_back(std::move(edge));
   node.parent_edge = static_cast<int>(edges_.size()) - 1;
   nodes_.push_back(std::move(node));
@@ -151,11 +154,17 @@ void Fabric::send_chunks(const std::vector<Hop>& hops, BusEvent::Kind kind,
       const Hop& h = hops[hop_idx];
       Edge& e = edges_[static_cast<std::size_t>(h.edge)];
       sim::Channel& ch = h.downstream ? *e.down : *e.up;
+      const Time t_send = sim_->now();
       ch.send(e.link.wire_bytes(chunk), [this, &e, h, kind, xfer, offset,
-                                         chunk, forward, hop_idx] {
+                                         chunk, forward, hop_idx, t_send] {
         if (e.analyzer != nullptr)
           e.analyzer->record(BusEvent{sim_->now(), kind, xfer->addr + offset,
                                       chunk, h.downstream});
+        if (e.trace)
+          e.trace.span("pcie", bus_kind_name(kind), t_send, sim_->now(),
+                       {{"addr", xfer->addr + offset},
+                        {"bytes", chunk},
+                        {"down", h.downstream}});
         (*forward)(hop_idx + 1);
       });
     };

@@ -25,6 +25,7 @@
 #include "pcie/link.hpp"
 #include "sim/channel.hpp"
 #include "sim/simulator.hpp"
+#include "trace/trace.hpp"
 
 namespace apn::pcie {
 
@@ -63,6 +64,11 @@ class Device {
   const std::string& pcie_name() const { return pcie_name_; }
   int pcie_node() const { return pcie_node_; }
 
+ protected:
+  /// Name used for topology nodes and trace tracks; effective only when
+  /// called before Fabric::attach (attach falls back to "dev" otherwise).
+  void set_pcie_name(std::string name) { pcie_name_ = std::move(name); }
+
  private:
   friend class Fabric;
   std::string pcie_name_;
@@ -78,26 +84,54 @@ struct BusEvent {
   bool downstream;        ///< true if moving away from the root
 };
 
+/// PCIe mnemonic for a transaction kind (MWr / MRd / CplD).
+inline const char* bus_kind_name(BusEvent::Kind k) {
+  switch (k) {
+    case BusEvent::Kind::kWrite: return "MWr";
+    case BusEvent::Kind::kReadReq: return "MRd";
+    case BusEvent::Kind::kCompletion: return "CplD";
+  }
+  return "?";
+}
+
 /// Passive interposer attached to one edge; records every chunk crossing it.
-/// Mirrors the PCIe active interposer used for the paper's Fig. 3.
+/// Mirrors the PCIe active interposer used for the paper's Fig. 3. When
+/// bound to a trace track it doubles as a producer into the trace sink, so
+/// the analyzer's view and the trace timeline stay byte-for-byte consistent.
 class BusAnalyzer {
  public:
-  void record(BusEvent ev) { events_.push_back(ev); }
+  void record(BusEvent ev) {
+    events_.push_back(ev);
+    if (trace_)
+      trace_.instant("pcie", bus_kind_name(ev.kind), ev.time,
+                     {{"addr", ev.addr},
+                      {"bytes", ev.bytes},
+                      {"down", ev.downstream}});
+  }
   const std::vector<BusEvent>& events() const { return events_; }
   void clear() { events_.clear(); }
 
+  /// Mirror every recorded transaction onto `t` as trace instants.
+  void bind_trace(trace::Track t) { trace_ = t; }
+
  private:
   std::vector<BusEvent> events_;
+  trace::Track trace_;
 };
 
 class Fabric {
  public:
-  explicit Fabric(sim::Simulator& sim, std::uint32_t chunk_bytes = 4096)
-      : sim_(&sim), chunk_bytes_(chunk_bytes) {}
+  /// `name` labels this fabric's trace tracks (one PCIe tree per cluster
+  /// node, so cluster assembly passes "node<i>.pcie").
+  explicit Fabric(sim::Simulator& sim, std::uint32_t chunk_bytes = 4096,
+                  std::string name = "pcie")
+      : sim_(&sim), chunk_bytes_(chunk_bytes), name_(std::move(name)) {}
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
 
   sim::Simulator& simulator() { return *sim_; }
+  /// Trace-track group label of this fabric (e.g. "node0.pcie").
+  const std::string& name() const { return name_; }
 
   // ---- topology construction -------------------------------------------
   /// Create the root complex; returns its node id. Must be called first.
@@ -157,6 +191,7 @@ class Fabric {
     std::unique_ptr<sim::Channel> up;    // down_node -> up_node
     std::unique_ptr<sim::Channel> down;  // up_node -> down_node
     BusAnalyzer* analyzer = nullptr;
+    trace::Track trace;  ///< per-edge lane; inert when tracing is off
   };
   struct Range {
     std::uint64_t base, size;
@@ -176,6 +211,7 @@ class Fabric {
 
   sim::Simulator* sim_;
   std::uint32_t chunk_bytes_;
+  std::string name_;
   std::vector<Node> nodes_;
   std::vector<Edge> edges_;
   std::vector<Range> ranges_;

@@ -26,7 +26,9 @@ struct HostMemoryParams {
 class HostMemory : public Device {
  public:
   HostMemory(sim::Simulator& sim, HostMemoryParams params = {})
-      : sim_(&sim), params_(params), read_port_(sim) {}
+      : sim_(&sim), params_(params), read_port_(sim) {
+    set_pcie_name("dram");
+  }
 
   /// Pin a region of process memory for device access (DMA-ability).
   void pin(void* ptr, std::size_t len) {

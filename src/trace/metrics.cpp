@@ -1,0 +1,83 @@
+#include "trace/metrics.hpp"
+
+#include <cstdio>
+
+namespace apn::trace {
+
+void MetricsRegistry::clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+namespace {
+
+std::string fmt(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+std::string hist_fields(const Histogram& h, const char* eq,
+                        const char* sep, const char* quote) {
+  const OnlineStats& s = h.stats();
+  auto field = [&](const char* k, double v) {
+    return std::string(quote) + k + quote + eq + fmt(v);
+  };
+  std::string out = std::string(quote) + "count" + quote + eq +
+                    std::to_string(s.count());
+  if (s.count() > 0) {
+    out += sep + field("mean", s.mean());
+    out += sep + field("min", s.min());
+    out += sep + field("p50", h.samples().percentile(50));
+    out += sep + field("p95", h.samples().percentile(95));
+    out += sep + field("max", s.max());
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::text() const {
+  std::string out;
+  for (const auto& [name, c] : counters_)
+    out += "counter   " + name + " = " + std::to_string(c.value()) + "\n";
+  for (const auto& [name, g] : gauges_)
+    out += "gauge     " + name + " = " + fmt(g.value()) + "\n";
+  for (const auto& [name, h] : histograms_)
+    out += "histogram " + name + " " + hist_fields(h, "=", " ", "") + "\n";
+  return out;
+}
+
+std::string MetricsRegistry::json() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":" + std::to_string(c.value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":" + fmt(g.value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":{" + hist_fields(h, ":", ",", "\"") + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry r;
+  return r;
+}
+
+}  // namespace apn::trace

@@ -1,0 +1,87 @@
+// MetricsRegistry: named counters, gauges, and histograms for aggregate
+// observability (the companion to the event-level TraceSink).
+//
+// Histograms reuse the `common/stats.hpp` accumulators: OnlineStats for
+// streaming mean/stddev plus a Samples store for percentiles. Components
+// cache a pointer to their metric once (`MetricsRegistry::global()` lookup
+// at construction) so the per-event cost is one increment — cheap enough
+// to stay on unconditionally. The registry aggregates across every
+// simulator built in the process; call `clear()` between runs for
+// per-run numbers.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/stats.hpp"
+
+namespace apn::trace {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_ += n; }
+  void inc() { add(1); }
+  std::uint64_t value() const { return v_; }
+  void reset() { v_ = 0; }
+
+ private:
+  std::uint64_t v_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) { v_ = v; }
+  double value() const { return v_; }
+  void reset() { v_ = 0.0; }
+
+ private:
+  double v_ = 0.0;
+};
+
+class Histogram {
+ public:
+  void observe(double x) {
+    online_.add(x);
+    samples_.add(x);
+  }
+  const OnlineStats& stats() const { return online_; }
+  const Samples& samples() const { return samples_; }
+  std::size_t count() const { return online_.count(); }
+  void reset() {
+    online_.reset();
+    samples_.reset();
+  }
+
+ private:
+  OnlineStats online_;
+  Samples samples_;
+};
+
+class MetricsRegistry {
+ public:
+  /// Look up or create; references stay valid for the registry's lifetime.
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+  void clear();
+
+  /// Human-readable dump, one metric per line, sorted by name.
+  std::string text() const;
+  /// JSON dump: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string json() const;
+
+  /// Process-wide registry used by the built-in instrumentation.
+  static MetricsRegistry& global();
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace apn::trace

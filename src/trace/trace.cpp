@@ -1,0 +1,264 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+namespace apn::trace {
+
+TraceSink::TraceSink(std::size_t capacity)
+    : capacity_(capacity > 0 ? capacity : 1) {
+  ring_.reserve(std::min<std::size_t>(capacity_, 4096));
+}
+
+std::uint32_t TraceSink::track(const std::string& process,
+                               const std::string& name) {
+  auto key = std::make_pair(process, name);
+  auto it = track_ids_.find(key);
+  if (it != track_ids_.end()) return it->second;
+  auto pid_it = pids_.find(process);
+  if (pid_it == pids_.end())
+    pid_it = pids_.emplace(process, static_cast<int>(pids_.size())).first;
+  // tid 0 is reserved so a track never collides with Chrome's implicit
+  // "main thread" row of its process.
+  TrackInfo info{process, name, pid_it->second,
+                 static_cast<int>(tracks_.size()) + 1};
+  tracks_.push_back(info);
+  std::uint32_t id = static_cast<std::uint32_t>(tracks_.size()) - 1;
+  track_ids_.emplace(std::move(key), id);
+  return id;
+}
+
+void TraceSink::push(TraceEvent ev) {
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(ev));
+    return;
+  }
+  ring_[head_] = std::move(ev);
+  head_ = (head_ + 1) % capacity_;
+  ++dropped_;
+}
+
+void TraceSink::span(std::uint32_t track, const char* category,
+                     const char* name, Time start, Time end,
+                     std::initializer_list<Arg> args) {
+  TraceEvent ev;
+  ev.ts = start;
+  ev.dur = end > start ? end - start : 0;
+  ev.phase = TraceEvent::Phase::kSpan;
+  ev.track = track;
+  ev.category = category;
+  ev.name = name;
+  ev.args.assign(args.begin(), args.end());
+  push(std::move(ev));
+}
+
+void TraceSink::instant(std::uint32_t track, const char* category,
+                        const char* name, Time t,
+                        std::initializer_list<Arg> args) {
+  TraceEvent ev;
+  ev.ts = t;
+  ev.phase = TraceEvent::Phase::kInstant;
+  ev.track = track;
+  ev.category = category;
+  ev.name = name;
+  ev.args.assign(args.begin(), args.end());
+  push(std::move(ev));
+}
+
+void TraceSink::counter(std::uint32_t track, const char* category,
+                        const char* name, Time t, double value) {
+  TraceEvent ev;
+  ev.ts = t;
+  ev.phase = TraceEvent::Phase::kCounter;
+  ev.track = track;
+  ev.category = category;
+  ev.name = name;
+  ev.args.assign({Arg{"value", value}});
+  push(std::move(ev));
+}
+
+std::vector<TraceEvent> TraceSink::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(head_),
+               ring_.end());
+    out.insert(out.end(), ring_.begin(),
+               ring_.begin() + static_cast<std::ptrdiff_t>(head_));
+  }
+  return out;
+}
+
+void TraceSink::clear() {
+  ring_.clear();
+  head_ = 0;
+  dropped_ = 0;
+}
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_args(std::string& out, const std::vector<Arg>& args) {
+  out += "{";
+  bool first = true;
+  for (const Arg& a : args) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    append_escaped(out, a.key);
+    out += "\":";
+    char buf[40];
+    if (a.integral)
+      std::snprintf(buf, sizeof buf, "%lld",
+                    static_cast<long long>(a.value));
+    else
+      std::snprintf(buf, sizeof buf, "%.9g", a.value);
+    out += buf;
+  }
+  out += "}";
+}
+
+/// Picoseconds -> the format's microsecond unit, with sub-ps kept exact
+/// enough for display (%.6f keeps full ps resolution).
+void append_us(std::string& out, Time ps) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.6f", static_cast<double>(ps) / 1e6);
+  out += buf;
+}
+
+}  // namespace
+
+std::string TraceSink::chrome_json() const {
+  std::string out;
+  out += "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out += ",\n";
+    first = false;
+  };
+
+  // Metadata: name every process and track lane.
+  std::map<int, std::string> process_names;
+  for (const TrackInfo& t : tracks_) process_names[t.pid] = t.process;
+  for (const auto& [pid, name] : process_names) {
+    sep();
+    out += "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" +
+           std::to_string(pid) + ",\"tid\":0,\"args\":{\"name\":\"";
+    append_escaped(out, name);
+    out += "\"}}";
+  }
+  for (const TrackInfo& t : tracks_) {
+    sep();
+    out += "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" +
+           std::to_string(t.pid) + ",\"tid\":" + std::to_string(t.tid) +
+           ",\"args\":{\"name\":\"";
+    append_escaped(out, t.name);
+    out += "\"}}";
+  }
+
+  // Events, sorted by sim time (stable: ties keep recording order).
+  std::vector<TraceEvent> evs = events();
+  std::stable_sort(evs.begin(), evs.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts < b.ts;
+                   });
+  for (const TraceEvent& ev : evs) {
+    const TrackInfo& t = tracks_[ev.track];
+    sep();
+    out += "{\"name\":\"";
+    append_escaped(out, ev.name);
+    out += "\",\"cat\":\"";
+    append_escaped(out, ev.category);
+    out += "\",\"pid\":" + std::to_string(t.pid) +
+           ",\"tid\":" + std::to_string(t.tid) + ",\"ts\":";
+    append_us(out, ev.ts);
+    switch (ev.phase) {
+      case TraceEvent::Phase::kSpan:
+        out += ",\"ph\":\"X\",\"dur\":";
+        append_us(out, ev.dur);
+        break;
+      case TraceEvent::Phase::kInstant:
+        out += ",\"ph\":\"i\",\"s\":\"t\"";
+        break;
+      case TraceEvent::Phase::kCounter:
+        out += ",\"ph\":\"C\"";
+        break;
+    }
+    if (!ev.args.empty() || ev.phase == TraceEvent::Phase::kCounter) {
+      out += ",\"args\":";
+      append_args(out, ev.args);
+    }
+    out += "}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool TraceSink::write_chrome_json(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::string json = chrome_json();
+  std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  int rc = std::fclose(f);
+  return written == json.size() && rc == 0;
+}
+
+bool env_enabled() {
+  const char* v = std::getenv("APN_TRACE");
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+namespace {
+
+std::unique_ptr<TraceSink>& env_sink() {
+  static std::unique_ptr<TraceSink> s;
+  return s;
+}
+
+void dump_env_sink() {
+  TraceSink* s = env_sink().get();
+  if (s == nullptr || s->size() == 0) return;
+  const char* path = std::getenv("APN_TRACE_OUT");
+  if (path == nullptr || path[0] == '\0') path = "apn_trace.json";
+  if (s->write_chrome_json(path))
+    std::fprintf(stderr, "[apn::trace] wrote %zu events to %s\n", s->size(),
+                 path);
+  else
+    std::fprintf(stderr, "[apn::trace] failed to write %s\n", path);
+}
+
+}  // namespace
+
+TraceSink* init_from_env() {
+  if (sink() != nullptr) return sink();
+  if (!env_enabled()) return nullptr;
+  env_sink() = std::make_unique<TraceSink>();
+  std::atexit(dump_env_sink);
+  set_sink(env_sink().get());
+  return sink();
+}
+
+}  // namespace apn::trace

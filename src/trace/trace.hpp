@@ -1,0 +1,189 @@
+// Simulation-wide tracing: typed, sim-time-stamped events from every layer
+// of the model, collected into a ring buffer and exportable as Chrome
+// trace-event JSON (loadable in chrome://tracing or https://ui.perfetto.dev).
+//
+// Design rules:
+//  * Zero overhead when disabled. Components hold a `Track` handle; with no
+//    sink installed the handle is inert and every call is a single
+//    predictable null-check. Instrumentation never schedules simulator
+//    events, so enabling tracing cannot change simulated timing — traced
+//    and untraced runs are bit-identical in sim time.
+//  * Virtual threads. Each hardware stage that can be busy independently
+//    (a PCIe link direction, a GPU engine, the card's Nios II, a torus
+//    channel) is its own track; Perfetto renders one lane per track.
+//  * Explicit timestamps. The simulation is single-threaded but benches
+//    create many simulators; callers stamp events with their own
+//    simulator's clock instead of the sink guessing.
+//
+// Enabling: either install a sink programmatically (`trace::set_sink`)
+// before building the cluster, or set APN_TRACE=1 in the environment —
+// `cluster::Cluster`'s constructor then installs a process-wide sink that
+// dumps to $APN_TRACE_OUT (default "apn_trace.json") at exit. See
+// docs/OBSERVABILITY.md.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace apn::trace {
+
+/// One typed event argument; keys must be static strings (they are stored
+/// by pointer). Integral values are exported without a decimal point so
+/// addresses and byte counts stay readable in the trace viewer.
+struct Arg {
+  const char* key;
+  double value;
+  bool integral;
+
+  constexpr Arg(const char* k, double v) : key(k), value(v), integral(false) {}
+  constexpr Arg(const char* k, std::uint64_t v)
+      : key(k), value(static_cast<double>(v)), integral(true) {}
+  constexpr Arg(const char* k, std::int64_t v)
+      : key(k), value(static_cast<double>(v)), integral(true) {}
+  constexpr Arg(const char* k, std::uint32_t v)
+      : key(k), value(static_cast<double>(v)), integral(true) {}
+  constexpr Arg(const char* k, int v)
+      : key(k), value(static_cast<double>(v)), integral(true) {}
+  constexpr Arg(const char* k, bool v)
+      : key(k), value(v ? 1.0 : 0.0), integral(true) {}
+};
+
+/// A recorded event. `category` and `name` must be static strings; the
+/// sink stores them by pointer (the hot path never allocates for them).
+struct TraceEvent {
+  enum class Phase : std::uint8_t { kSpan, kInstant, kCounter };
+
+  Time ts = 0;        ///< start time (spans) or event time
+  Time dur = 0;       ///< span duration; 0 for instants/counters
+  Phase phase = Phase::kInstant;
+  std::uint32_t track = 0;
+  const char* category = "";
+  const char* name = "";
+  std::vector<Arg> args;
+};
+
+/// Collects events into a bounded ring buffer (oldest events are dropped
+/// once `capacity` is reached; `dropped()` reports how many).
+class TraceSink {
+ public:
+  explicit TraceSink(std::size_t capacity = 1 << 18);
+
+  // ---- tracks -------------------------------------------------------------
+  /// Register (or look up) the track `name` under the process-level group
+  /// `process`; returns its id. Chrome maps `process` to a pid and `name`
+  /// to a named thread lane within it.
+  std::uint32_t track(const std::string& process, const std::string& name);
+  std::size_t track_count() const { return tracks_.size(); }
+  const std::string& track_name(std::uint32_t id) const {
+    return tracks_[id].name;
+  }
+
+  // ---- recording ----------------------------------------------------------
+  void span(std::uint32_t track, const char* category, const char* name,
+            Time start, Time end, std::initializer_list<Arg> args = {});
+  void instant(std::uint32_t track, const char* category, const char* name,
+               Time t, std::initializer_list<Arg> args = {});
+  void counter(std::uint32_t track, const char* category, const char* name,
+               Time t, double value);
+
+  // ---- inspection / export ------------------------------------------------
+  /// Events in recording order (spans are recorded at their *end* time).
+  std::vector<TraceEvent> events() const;
+  std::size_t size() const { return ring_.size(); }
+  std::uint64_t dropped() const { return dropped_; }
+  void clear();
+
+  /// Chrome trace-event JSON ("JSON object format"): metadata names every
+  /// process/track, events are sorted by timestamp, `ts`/`dur` are in
+  /// microseconds as the format requires. Returns the JSON text.
+  std::string chrome_json() const;
+  /// Write `chrome_json()` to `path`; returns false on I/O failure.
+  bool write_chrome_json(const std::string& path) const;
+
+ private:
+  struct TrackInfo {
+    std::string process;
+    std::string name;
+    int pid;
+    int tid;
+  };
+
+  void push(TraceEvent ev);
+
+  std::size_t capacity_;
+  std::vector<TraceEvent> ring_;
+  std::size_t head_ = 0;  ///< next overwrite slot once the ring is full
+  std::uint64_t dropped_ = 0;
+  std::vector<TrackInfo> tracks_;
+  std::map<std::pair<std::string, std::string>, std::uint32_t> track_ids_;
+  std::map<std::string, int> pids_;
+};
+
+// ---- process-wide sink ------------------------------------------------------
+// The simulation is single-threaded; a plain global is sufficient and keeps
+// the disabled fast path to one load+branch.
+
+namespace detail {
+inline TraceSink*& sink_ref() {
+  static TraceSink* s = nullptr;
+  return s;
+}
+}  // namespace detail
+
+/// Currently installed sink, or nullptr when tracing is disabled.
+inline TraceSink* sink() { return detail::sink_ref(); }
+inline void set_sink(TraceSink* s) { detail::sink_ref() = s; }
+/// True when a sink is installed (tracing enabled).
+inline bool on() { return sink() != nullptr; }
+
+/// True when the APN_TRACE environment variable is set to anything but "0".
+bool env_enabled();
+
+/// If APN_TRACE is set and no sink is installed yet, install a
+/// process-lifetime sink that writes $APN_TRACE_OUT (default
+/// "apn_trace.json") at process exit. Returns the active sink (or nullptr
+/// when tracing stays disabled). Called by cluster::Cluster's constructor
+/// so every bench/test/example honors APN_TRACE with no code changes.
+TraceSink* init_from_env();
+
+/// Lightweight per-component handle: a (sink, track id) pair that is inert
+/// when tracing was disabled at open() time. Copyable and cheap.
+class Track {
+ public:
+  Track() = default;
+  Track(TraceSink* s, std::uint32_t id) : sink_(s), id_(id) {}
+
+  /// Open a track on the global sink; inert handle if tracing is off.
+  static Track open(const std::string& process, const std::string& name) {
+    TraceSink* s = sink();
+    if (s == nullptr) return Track{};
+    return Track{s, s->track(process, name)};
+  }
+
+  explicit operator bool() const { return sink_ != nullptr; }
+
+  void span(const char* category, const char* name, Time start, Time end,
+            std::initializer_list<Arg> args = {}) const {
+    if (sink_) sink_->span(id_, category, name, start, end, args);
+  }
+  void instant(const char* category, const char* name, Time t,
+               std::initializer_list<Arg> args = {}) const {
+    if (sink_) sink_->instant(id_, category, name, t, args);
+  }
+  void counter(const char* category, const char* name, Time t,
+               double value) const {
+    if (sink_) sink_->counter(id_, category, name, t, value);
+  }
+
+ private:
+  TraceSink* sink_ = nullptr;
+  std::uint32_t id_ = 0;
+};
+
+}  // namespace apn::trace

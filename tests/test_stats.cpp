@@ -78,6 +78,24 @@ TEST(Samples, EmptySafe) {
   EXPECT_TRUE(s.empty());
   EXPECT_EQ(s.percentile(50), 0.0);
   EXPECT_EQ(s.mean(), 0.0);
+  // Extrema of an empty set are NaN (matching OnlineStats), not a value
+  // that could be mistaken for a measurement.
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.max()));
+}
+
+TEST(Samples, SortCacheInvalidatedByAdd) {
+  Samples s;
+  s.add(10.0);
+  s.add(30.0);
+  EXPECT_DOUBLE_EQ(s.min(), 10.0);   // builds the sorted cache
+  EXPECT_DOUBLE_EQ(s.median(), 20.0);
+  s.add(1.0);                        // must invalidate it
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.median(), 10.0);
+  s.reset();
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.max(), 7.0);
 }
 
 }  // namespace
