@@ -6,8 +6,10 @@
 // independent and bit-reproducible.
 #pragma once
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -16,6 +18,76 @@
 #include "common/table.hpp"
 
 namespace apn::bench {
+
+/// Machine-readable result sink: one JSON record per measured point, as
+/// newline-delimited JSON. Enabled by `--json=<path>` on the bench command
+/// line or the APN_BENCH_JSON environment variable (flag wins). Each record
+/// is {"bench": ..., "point": ..., "model": ..., "paper": ...} where
+/// `paper` is null when the paper gives no quantitative target for the
+/// point. Inert (no file, no output) when neither switch is present, so
+/// the human-readable tables stay the default interface.
+class JsonSink {
+ public:
+  static JsonSink& global() {
+    static JsonSink sink;
+    return sink;
+  }
+
+  /// Parse --json=<path> / APN_BENCH_JSON; call once at bench startup.
+  void init(int argc, char** argv) {
+    const char* path = std::getenv("APN_BENCH_JSON");
+    for (int i = 1; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--json=", 7) == 0) path = argv[i] + 7;
+    }
+    if (path == nullptr || *path == '\0') return;
+    out_ = std::fopen(path, "w");
+    if (out_ == nullptr)
+      std::fprintf(stderr, "warning: cannot open %s for JSON output\n", path);
+  }
+
+  bool enabled() const { return out_ != nullptr; }
+
+  /// Emit one measurement. Pass NAN for `paper` when the paper has no
+  /// number for this point (serialized as null).
+  void record(const std::string& bench, const std::string& point,
+              double model, double paper = NAN) {
+    if (out_ == nullptr) return;
+    std::fprintf(out_, "{\"bench\": \"%s\", \"point\": \"%s\", ",
+                 escaped(bench).c_str(), escaped(point).c_str());
+    write_number("model", model);
+    std::fputs(", ", out_);
+    write_number("paper", paper);
+    std::fputs("}\n", out_);
+  }
+
+  ~JsonSink() {
+    if (out_ != nullptr) std::fclose(out_);
+  }
+
+ private:
+  JsonSink() = default;
+  JsonSink(const JsonSink&) = delete;
+  JsonSink& operator=(const JsonSink&) = delete;
+
+  static std::string escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  void write_number(const char* key, double v) {
+    if (std::isnan(v))
+      std::fprintf(out_, "\"%s\": null", key);
+    else
+      std::fprintf(out_, "\"%s\": %.17g", key, v);
+  }
+
+  std::FILE* out_ = nullptr;
+};
 
 /// Message sizes of the paper's bandwidth figures (32 B - 4 MB).
 inline std::vector<std::uint64_t> sweep_32B_4MB() {

@@ -7,8 +7,9 @@
 #include "apps/hsg/runner.hpp"
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace apn;
+  bench::JsonSink::global().init(argc, argv);
   bench::print_header("EXTENSION",
                       "Projected 16/24-node scaling (paper future work)");
 
@@ -34,6 +35,9 @@ int main() {
     hsg.add_row({strf("%d", np), strf("%.0f", m.ttot_ps),
                  strf("%.0f", np == 1 ? 0.0 : m.tnet_ps),
                  strf("%.2fx", base / m.ttot_ps)});
+    bench::JsonSink::global().record("ext_scaleout",
+                                     strf("hsg_speedup/np%d", np),
+                                     base / m.ttot_ps);
   }
   hsg.print();
 
@@ -53,6 +57,8 @@ int main() {
     bfs.add_row({strf("%d", np), strf("%.2g", m.teps),
                  strf("%.0f%%", 100.0 * static_cast<double>(m.comm_time) /
                                     static_cast<double>(m.wall))});
+    bench::JsonSink::global().record("ext_scaleout",
+                                     strf("bfs_teps/np%d", np), m.teps);
   }
   bfs.print();
   std::printf(

@@ -10,8 +10,9 @@
 //   protocol traffic: ~96 MB/s of read requests toward the GPU
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace apn;
+  bench::JsonSink::global().init(argc, argv);
   bench::print_header(
       "FIG 3", "PCIe timings of peer-to-peer transactions (bus analyzer)");
 
@@ -87,6 +88,15 @@ int main() {
              strf("%llu x %u B granules", (unsigned long long)req_count,
                   32u)});
   t.print();
+
+  auto& json = bench::JsonSink::global();
+  json.record("fig3", "tx_overhead_us", units::to_us(first_req - *t_submit),
+              3.0);
+  json.record("fig3", "gpu_head_latency_us",
+              units::to_us(first_resp - first_req), 1.8);
+  json.record("fig3", "stream_us_per_mb", stream_us_per_mb, 663.0);
+  json.record("fig3", "data_throughput_mbps", data_rate, 1536.0);
+  json.record("fig3", "protocol_traffic_mbps", proto_rate, 96.0);
   std::printf(
       "\nData stream occupies %.0f%% of the 2.9 GB/s effective x8 Gen2 link "
       "(paper: 53%% of the raw link).\n",

@@ -3,9 +3,10 @@
 // over APEnet+ (PCIe Gen2 x8, 28 Gbps torus link).
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace apn;
   using core::MemType;
+  bench::JsonSink::global().init(argc, argv);
   bench::print_header(
       "FIG 6", "Two-node uni-directional bandwidth, buffer-type combos");
 
@@ -33,6 +34,8 @@ int main() {
       int reps = bench::reps_for(size, 12ull << 20);
       auto r = cluster::twonode_bandwidth(*c, size, reps, opt);
       row.push_back(strf("%7.1f", r.mbps));
+      bench::JsonSink::global().record(
+          "fig6", std::string(combo.label) + "/" + size_label(size), r.mbps);
     }
     t.add_row(std::move(row));
   }

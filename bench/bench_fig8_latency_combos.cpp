@@ -2,9 +2,10 @@
 // the four buffer-type combinations, 32 B - 4 KB.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace apn;
   using core::MemType;
+  bench::JsonSink::global().init(argc, argv);
   bench::print_header("FIG 8", "APEnet+ half-round-trip latency, combos");
 
   struct Combo {
@@ -30,6 +31,13 @@ int main() {
       opt.dst_type = combo.dst;
       Time lat = cluster::pingpong_latency(*c, size, 100, opt);
       row.push_back(strf("%6.2f", units::to_us(lat)));
+      // Paper anchors (Fig. 8): 32 B latency is 6.3 us H-H, 8.2 us G-G.
+      double paper = NAN;
+      if (size == 32 && std::string(combo.label) == "H-H") paper = 6.3;
+      if (size == 32 && std::string(combo.label) == "G-G") paper = 8.2;
+      bench::JsonSink::global().record(
+          "fig8", std::string(combo.label) + "/" + size_label(size),
+          units::to_us(lat), paper);
     }
     t.add_row(std::move(row));
   }

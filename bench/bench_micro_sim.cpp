@@ -28,6 +28,28 @@ void BM_EventQueue(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueue)->Arg(1000)->Arg(100000);
 
+void BM_SameTickChain(benchmark::State& state) {
+  // Zero-delay self-rescheduling event: the pure same-tick ready-ring
+  // path (no wheel, no heap). This is the fast path every primitive
+  // wakeup (Gate/Semaphore/Queue via schedule_resume) rides.
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int left = static_cast<int>(state.range(0));
+    struct Chain {
+      sim::Simulator& sim;
+      int& left;
+      void operator()() const {
+        if (--left > 0) sim.after(0, *this);
+      }
+    };
+    sim.after(0, Chain{sim, left});
+    sim.run();
+    benchmark::DoNotOptimize(left);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SameTickChain)->Arg(100000);
+
 void BM_CoroutinePingPong(benchmark::State& state) {
   for (auto _ : state) {
     sim::Simulator sim;

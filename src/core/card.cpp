@@ -212,36 +212,39 @@ void ApenetCard::inject(ApPacket pkt, std::function<void()> on_sent) {
     m_tx_packets_->inc();
     if (params_.flush_at_switch) {
       // Test hook: the packet evaporates inside the switch.
-      sim_->after(params_.router_latency, on_sent);
+      sim_->after(params_.router_latency, std::move(on_sent));
       return;
     }
     if (sp->hdr.dst == me_) {
-      sim_->after(params_.router_latency, [this, sp, on_sent] {
-        rx_queue_.push(std::move(*sp));
-        on_sent();
-      });
+      sim_->after(params_.router_latency,
+                  [this, sp, on_sent = std::move(on_sent)] {
+                    rx_queue_.push(std::move(*sp));
+                    on_sent();
+                  });
       return;
     }
     TorusPort port = shape_.route_next(me_, sp->hdr.dst);
     LinkOut& l = links_[static_cast<std::size_t>(port)];
     if (l.channel == nullptr || l.neighbor == nullptr) {
       // Unwired port (single-card tests): drop but complete the send.
-      sim_->after(params_.router_latency, on_sent);
+      sim_->after(params_.router_latency, std::move(on_sent));
       return;
     }
-    sim_->after(params_.router_latency, [this, sp, &l, port, on_sent] {
+    sim_->after(params_.router_latency, [this, sp, &l, port,
+                                         on_sent = std::move(on_sent)] {
       const trace::Track& lt = trace_links_[static_cast<std::size_t>(port)];
       auto deliver = [nb = l.neighbor, sp] {
         nb->receive_from_link(std::move(*sp));
       };
       if (!lt) {
-        l.channel->send(sp->wire_bytes(), std::move(deliver), on_sent);
+        l.channel->send(sp->wire_bytes(), std::move(deliver),
+                        std::move(on_sent));
         return;
       }
       const Time t0 = sim_->now();
       const std::uint64_t wire = sp->wire_bytes();
       l.channel->send(wire, std::move(deliver),
-                      [this, &lt, t0, wire, on_sent] {
+                      [this, &lt, t0, wire, on_sent = std::move(on_sent)] {
                         lt.span("torus", "pkt", t0, sim_->now(),
                                 {{"wire_bytes", wire}});
                         if (on_sent) on_sent();

@@ -162,7 +162,7 @@ void Gpu::handle_read(std::uint64_t addr, std::uint32_t len,
         const Time t_req = sim_->now();
         sim_->after(arch_.bar1_read_latency, [this, dev_off, len, stream,
                                               t_req,
-                                              reply = std::move(reply)] {
+                                              reply = std::move(reply)]() mutable {
           bar1_line_.post(stream,
                           [this, dev_off, len, t_req,
                            reply = std::move(reply)] {

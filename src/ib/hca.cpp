@@ -114,20 +114,24 @@ sim::Coro Hca::tx_engine() {
       IbSwitch* sw = switch_;
       const std::uint32_t off = offset;
       auto sl = std::make_shared<std::vector<std::uint8_t>>(std::move(slice));
-      to_switch_->send(
-          frame + params_.wire_overhead,
-          [sw, msg, sl, frame, off, last] {
-            sw->egress(msg->dst_rank)
-                .send(frame + sw->hca(msg->dst_rank).params_.wire_overhead,
-                      [sw, msg, sl, off, last] {
-                        sw->hca(msg->dst_rank)
-                            .deliver_frame(*msg, off, std::move(*sl), last);
-                      });
-          },
-          last ? std::function<void()>([msg] {
-            if (msg->on_sent) msg->on_sent();
-          })
-               : std::function<void()>{});
+      auto forward = [sw, msg, sl, frame, off, last] {
+        sw->egress(msg->dst_rank)
+            .send(frame + sw->hca(msg->dst_rank).params_.wire_overhead,
+                  [sw, msg, sl, off, last] {
+                    sw->hca(msg->dst_rank)
+                        .deliver_frame(*msg, off, std::move(*sl), last);
+                  });
+      };
+      // Only the last frame carries a serialized hook; intermediate frames
+      // take the hookless path (no std::function boxed per frame).
+      if (last) {
+        to_switch_->send(frame + params_.wire_overhead, std::move(forward),
+                         [msg] {
+                           if (msg->on_sent) msg->on_sent();
+                         });
+      } else {
+        to_switch_->send(frame + params_.wire_overhead, std::move(forward));
+      }
       offset += frame;
     }
   }

@@ -99,15 +99,21 @@ Time Fabric::path_latency(const Device& a, const Device& b) const {
   return total;
 }
 
-namespace {
-/// Shared state of one chunked transfer.
-struct Xfer {
+/// Shared state of one chunked transfer. One allocation per *transfer*
+/// (not per chunk): the path, kind, and completion all live here, so the
+/// per-hop forwarding callback only captures {this, xfer, offset, chunk,
+/// hop_idx, t_send} — small enough for the event engine's inline storage.
+struct Fabric::Xfer {
+  std::vector<Hop> hops;
+  BusEvent::Kind kind;
   std::uint64_t addr;
+  std::uint64_t total;
   Payload payload;
   std::uint64_t delivered_bytes = 0;
   std::function<void(Payload)> done;
 };
 
+namespace {
 Payload slice(const Payload& p, std::uint64_t offset, std::uint32_t len) {
   Payload out;
   out.bytes = len;
@@ -119,58 +125,65 @@ Payload slice(const Payload& p, std::uint64_t offset, std::uint32_t len) {
 }
 }  // namespace
 
-void Fabric::send_chunks(const std::vector<Hop>& hops, BusEvent::Kind kind,
+void Fabric::send_chunks(std::vector<Hop> hops, BusEvent::Kind kind,
                          std::uint64_t addr, Payload payload,
                          std::function<void(Payload)> on_delivered) {
   auto xfer = std::make_shared<Xfer>();
+  xfer->hops = std::move(hops);
+  xfer->kind = kind;
   xfer->addr = addr;
+  xfer->total = payload.bytes;
   xfer->payload = std::move(payload);
   xfer->done = std::move(on_delivered);
 
-  const std::uint64_t total = xfer->payload.bytes;
+  const std::uint64_t total = xfer->total;
   std::uint64_t offset = 0;
   // Zero-length transactions (read requests) still send one header chunk.
   do {
     const std::uint32_t chunk = static_cast<std::uint32_t>(
         total - offset < chunk_bytes_ ? total - offset : chunk_bytes_);
-    // Recursive hop-forwarding closure for this chunk.
-    auto forward = std::make_shared<std::function<void(std::size_t)>>();
-    *forward = [this, hops, kind, xfer, offset, chunk, total,
-                forward](std::size_t hop_idx) {
-      if (hop_idx == hops.size()) {
-        // Chunk fully arrived at the target end.
-        xfer->delivered_bytes += chunk;
-        const bool last =
-            (total == 0) || (xfer->delivered_bytes >= total);
-        if (kind == BusEvent::Kind::kWrite) {
-          Device* target = route(xfer->addr + offset);
-          if (target != nullptr)
-            target->handle_write(xfer->addr + offset,
-                                 slice(xfer->payload, offset, chunk));
-        }
-        if (last && xfer->done) xfer->done(std::move(xfer->payload));
-        return;
-      }
-      const Hop& h = hops[hop_idx];
-      Edge& e = edges_[static_cast<std::size_t>(h.edge)];
-      sim::Channel& ch = h.downstream ? *e.down : *e.up;
-      const Time t_send = sim_->now();
-      ch.send(e.link.wire_bytes(chunk), [this, &e, h, kind, xfer, offset,
-                                         chunk, forward, hop_idx, t_send] {
-        if (e.analyzer != nullptr)
-          e.analyzer->record(BusEvent{sim_->now(), kind, xfer->addr + offset,
-                                      chunk, h.downstream});
-        if (e.trace)
-          e.trace.span("pcie", bus_kind_name(kind), t_send, sim_->now(),
-                       {{"addr", xfer->addr + offset},
-                        {"bytes", chunk},
-                        {"down", h.downstream}});
-        (*forward)(hop_idx + 1);
-      });
-    };
-    (*forward)(0);
+    forward_chunk(xfer, offset, chunk, 0);
     offset += chunk;
   } while (offset < total);
+}
+
+void Fabric::forward_chunk(const std::shared_ptr<Xfer>& xfer,
+                           std::uint64_t offset, std::uint32_t chunk,
+                           std::size_t hop_idx) {
+  if (hop_idx == xfer->hops.size()) {
+    // Chunk fully arrived at the target end.
+    xfer->delivered_bytes += chunk;
+    const bool last =
+        (xfer->total == 0) || (xfer->delivered_bytes >= xfer->total);
+    if (xfer->kind == BusEvent::Kind::kWrite) {
+      Device* target = route(xfer->addr + offset);
+      if (target != nullptr)
+        target->handle_write(xfer->addr + offset,
+                             slice(xfer->payload, offset, chunk));
+    }
+    if (last && xfer->done) xfer->done(std::move(xfer->payload));
+    return;
+  }
+  const Hop& h = xfer->hops[hop_idx];
+  Edge& e = edges_[static_cast<std::size_t>(h.edge)];
+  sim::Channel& ch = h.downstream ? *e.down : *e.up;
+  const Time t_send = sim_->now();
+  ch.send(e.link.wire_bytes(chunk),
+          [this, xfer, offset, chunk, hop_idx, t_send] {
+            const Hop& h = xfer->hops[hop_idx];
+            Edge& e = edges_[static_cast<std::size_t>(h.edge)];
+            if (e.analyzer != nullptr)
+              e.analyzer->record(BusEvent{sim_->now(), xfer->kind,
+                                          xfer->addr + offset, chunk,
+                                          h.downstream});
+            if (e.trace)
+              e.trace.span("pcie", bus_kind_name(xfer->kind), t_send,
+                           sim_->now(),
+                           {{"addr", xfer->addr + offset},
+                            {"bytes", chunk},
+                            {"down", h.downstream}});
+            forward_chunk(xfer, offset, chunk, hop_idx + 1);
+          });
 }
 
 void Fabric::post_write(const Device& src, std::uint64_t addr, Payload payload,
@@ -178,7 +191,8 @@ void Fabric::post_write(const Device& src, std::uint64_t addr, Payload payload,
   Device* target = route(addr);
   if (target == nullptr) throw std::runtime_error("unroutable write address");
   auto hops = path(src.pcie_node(), target->pcie_node());
-  send_chunks(hops, BusEvent::Kind::kWrite, addr, std::move(payload),
+  send_chunks(std::move(hops), BusEvent::Kind::kWrite, addr,
+              std::move(payload),
               [cb = std::move(on_delivered)](Payload) {
                 if (cb) cb();
               });
@@ -193,15 +207,15 @@ void Fabric::read(const Device& src, std::uint64_t addr, std::uint32_t len,
 
   // Read request: a header-only TLP travelling to the target.
   send_chunks(
-      req_hops, BusEvent::Kind::kReadReq, addr, Payload::timing(0),
+      std::move(req_hops), BusEvent::Kind::kReadReq, addr, Payload::timing(0),
       [this, target, addr, len, rsp_hops = std::move(rsp_hops),
        on_complete = std::move(on_complete)](Payload) mutable {
         target->handle_read(
             addr, len,
             [this, addr, rsp_hops = std::move(rsp_hops),
              on_complete = std::move(on_complete)](Payload data) mutable {
-              send_chunks(rsp_hops, BusEvent::Kind::kCompletion, addr,
-                          std::move(data), std::move(on_complete));
+              send_chunks(std::move(rsp_hops), BusEvent::Kind::kCompletion,
+                          addr, std::move(data), std::move(on_complete));
             });
       });
 }

@@ -203,11 +203,18 @@ class Fabric {
     bool downstream;  // direction of travel on this edge
   };
 
+  /// Shared state of one chunked transfer (defined in fabric.cpp).
+  struct Xfer;
+
   int new_node(const std::string& name, int parent, LinkParams link);
   std::vector<Hop> path(int from_node, int to_node) const;
-  void send_chunks(const std::vector<Hop>& hops, BusEvent::Kind kind,
+  void send_chunks(std::vector<Hop> hops, BusEvent::Kind kind,
                    std::uint64_t addr, Payload payload,
                    std::function<void(Payload)> on_delivered);
+  /// Forward one chunk across hop `hop_idx` of its transfer's path; on the
+  /// final hop, deliver to the target device and finish the transfer.
+  void forward_chunk(const std::shared_ptr<Xfer>& xfer, std::uint64_t offset,
+                     std::uint32_t chunk, std::size_t hop_idx);
 
   sim::Simulator* sim_;
   std::uint32_t chunk_bytes_;

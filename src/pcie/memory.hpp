@@ -54,7 +54,7 @@ class HostMemory : public Device {
     // completion generation serializes at the memory-port rate.
     Time stream = units::transfer_time(len, params_.read_bytes_per_sec);
     sim_->after(params_.read_latency, [this, addr, len, stream,
-                                       reply = std::move(reply)] {
+                                       reply = std::move(reply)]() mutable {
       read_port_.post(stream, [this, addr, len, reply = std::move(reply)] {
         Payload p;
         p.bytes = len;

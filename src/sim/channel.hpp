@@ -7,10 +7,17 @@
 //   delivery      = serialization completion + latency      (pipelined)
 // Multiple in-flight sends pipeline: the wire serializes them back-to-back
 // while earlier ones are still propagating.
+//
+// send() is templated over the callback types so lambdas flow into the
+// event engine's inline storage without being boxed into std::function;
+// transfer() takes the fully typed path (Resource::post_resume) and
+// constructs no callable at all.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <type_traits>
+#include <utility>
 
 #include "common/units.hpp"
 #include "sim/resource.hpp"
@@ -40,13 +47,35 @@ class Channel {
   /// Queue `bytes` for transmission; `delivered` fires at arrival time.
   /// `serialized` (optional) fires when the payload has fully left the
   /// sender — the point at which sender-side buffer space is reclaimable.
-  void send(std::uint64_t bytes, std::function<void()> delivered,
-            std::function<void()> serialized = {}) {
+  template <typename D, typename S = std::function<void()>>
+  void send(std::uint64_t bytes, D delivered, S serialized = {}) {
     bytes_sent_ += bytes;
+    // S may be a std::function-like type passed empty when the caller has
+    // no serialized hook; plain lambdas are always truthy-equivalent and
+    // called unconditionally. The no-hook wrapper captures only
+    // {this, delivered} so a small `delivered` stays within the
+    // std::function inline buffer on the Resource job.
+    const bool has_serialized = [&] {
+      if constexpr (requires { static_cast<bool>(serialized); })
+        return static_cast<bool>(serialized);
+      else
+        return true;
+    }();
+    if (!has_serialized) {
+      line_.post(serialization_time(bytes),
+                 [this, delivered = std::move(delivered)]() mutable {
+                   sim_->after(params_.latency, std::move(delivered));
+                 });
+      return;
+    }
     line_.post(serialization_time(bytes),
                [this, delivered = std::move(delivered),
                 serialized = std::move(serialized)]() mutable {
-                 if (serialized) serialized();
+                 if constexpr (requires { static_cast<bool>(serialized); }) {
+                   if (serialized) serialized();
+                 } else {
+                   serialized();
+                 }
                  sim_->after(params_.latency, std::move(delivered));
                });
   }
@@ -58,7 +87,9 @@ class Channel {
       std::uint64_t n;
       bool await_ready() const noexcept { return false; }
       void await_suspend(std::coroutine_handle<> h) {
-        ch.send(n, [h] { h.resume(); });
+        ch.bytes_sent_ += n;
+        ch.line_.post_resume(ch.serialization_time(n), h,
+                             ch.params_.latency);
       }
       void await_resume() const noexcept {}
     };

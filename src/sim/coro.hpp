@@ -33,7 +33,7 @@ class DelayAwaiter {
 
   bool await_ready() const noexcept { return false; }
   void await_suspend(std::coroutine_handle<> h) {
-    sim_.after(delay_, [h] { h.resume(); });
+    sim_.resume_after(delay_, h);
   }
   void await_resume() const noexcept {}
 

@@ -5,6 +5,15 @@
 // driver's descriptor push path. Jobs can be posted with a completion
 // callback or awaited from a coroutine. Utilization accounting is built in
 // so benches can report how busy a bottleneck device was.
+//
+// Coroutine clients take typed paths that construct no std::function:
+//  * post(duration, h) / use(duration): resume `h` inside the completion
+//    event — the typed equivalent of post(duration, [h]{ h.resume(); }).
+//  * post_resume(duration, h, extra): *schedule* the resume `extra` after
+//    completion (a fresh event even when extra == 0) — the typed
+//    equivalent of posting a callback that calls after(extra, resume).
+// The distinction matters for determinism: an inline resume runs before
+// the server starts its next job; a scheduled one runs as its own event.
 #pragma once
 
 #include <coroutine>
@@ -25,7 +34,23 @@ class Resource {
 
   /// Enqueue a job taking `duration`; `done` fires when the job completes.
   void post(Time duration, std::function<void()> done = {}) {
-    queue_.push_back(Job{duration, std::move(done)});
+    queue_.push_back(Job{duration, std::move(done), {}, kInlineResume});
+    if (!busy_) start_next();
+  }
+
+  /// Typed fast path: resume `h` inside the job's completion event.
+  void post(Time duration, std::coroutine_handle<> h) {
+    queue_.push_back(Job{duration, {}, h, kInlineResume});
+    if (!busy_) start_next();
+  }
+
+  /// Typed fast path: when the job completes, schedule `h` to resume
+  /// `extra_delay` later (e.g. wire latency pipelined behind the
+  /// serialization stage). The resume is always a separate event, even
+  /// when extra_delay is zero.
+  void post_resume(Time duration, std::coroutine_handle<> h,
+                   Time extra_delay) {
+    queue_.push_back(Job{duration, {}, h, extra_delay});
     if (!busy_) start_next();
   }
 
@@ -35,9 +60,7 @@ class Resource {
       Resource& res;
       Time dur;
       bool await_ready() const noexcept { return false; }
-      void await_suspend(std::coroutine_handle<> h) {
-        res.post(dur, [h] { h.resume(); });
-      }
+      void await_suspend(std::coroutine_handle<> h) { res.post(dur, h); }
       void await_resume() const noexcept {}
     };
     return Awaiter{*this, duration};
@@ -62,9 +85,13 @@ class Resource {
   }
 
  private:
+  static constexpr Time kInlineResume = -1;
+
   struct Job {
     Time duration;
-    std::function<void()> done;
+    std::function<void()> done;  // callback completion (may be empty)
+    std::coroutine_handle<> h;   // typed completion (may be null)
+    Time resume_extra_delay;     // kInlineResume = resume inside completion
   };
 
   void start_next() {
@@ -73,6 +100,23 @@ class Resource {
     Job job = std::move(queue_.front());
     queue_.pop_front();
     busy_time_ += job.duration;
+    if (job.h) {
+      const auto h = job.h;
+      const Time extra = job.resume_extra_delay;
+      sim_->after(job.duration, [this, h, extra] {
+        ++jobs_completed_;
+        if (extra == kInlineResume)
+          h.resume();
+        else
+          sim_->resume_after(extra, h);
+        if (!queue_.empty()) {
+          start_next();
+        } else {
+          busy_ = false;
+        }
+      });
+      return;
+    }
     sim_->after(job.duration, [this, done = std::move(job.done)]() mutable {
       ++jobs_completed_;
       if (done) done();

@@ -3,12 +3,48 @@
 // Events are (time, sequence) ordered: two events scheduled for the same
 // picosecond fire in scheduling order, which makes every run bit-exact.
 // All higher-level primitives (coroutine delays, resources, channels) are
-// built on Simulator::at/after.
+// built on Simulator::at/after and the coroutine fast paths
+// (schedule_resume / resume_after).
+//
+// Engine layout — the hot path allocates nothing per event:
+//
+//  * EventNode: an intrusive, fixed-size node carved from simulator-owned
+//    slabs and recycled through a freelist. The payload lives in an inline
+//    buffer (coroutine handle or small callable); only callables larger
+//    than the inline budget fall back to one boxed allocation.
+//  * ready ring: a FIFO of nodes scheduled for the *current* picosecond
+//    (schedule_resume, after(0, ...)). Same-tick wakeups — the dominant
+//    event class, every Gate/Semaphore/Queue wakeup is one — bypass every
+//    ordered structure: O(1) push, O(1) pop.
+//  * timing wheel: 1024 one-picosecond FIFO slots covering the window
+//    [base, base + 1024). Near-future events — chunked DMA trains, bus
+//    beats — are O(1) push/pop; an occupancy bitmap finds the next
+//    non-empty slot with a couple of count-trailing-zero steps.
+//  * heap_: a 4-ary heap of slim (time, seq, node*) entries for events
+//    beyond the wheel window. Sifting compares and moves 24-byte
+//    trivially-copyable entries, never the payloads. When ring and wheel
+//    drain, the window advances to the heap top and near events migrate
+//    into the wheel.
+//
+// Determinism contract: every event receives a global sequence number, and
+// the dispatcher always fires the (time, seq)-minimum event. Each slot
+// FIFO and the ring are seq-ordered by construction (appends happen in
+// allocation order), heap pops for equal times come out in seq order, and
+// migration appends into empty slots only — so the merged order is the
+// exact total order a single (time, seq) priority queue would produce:
+// bit-identical simulated time, regardless of the internal structure.
 #pragma once
 
+#include <algorithm>
+#include <bit>
+#include <coroutine>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/units.hpp"
@@ -21,30 +57,66 @@ class Simulator {
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
+  ~Simulator() {
+    for (HeapEntry& e : heap_) e.node->drop(e.node);
+    for (EventNode* n = ring_head_; n != nullptr; n = n->next) n->drop(n);
+    if (wheel_size_ > 0) {
+      for (Slot& s : slots_)
+        for (EventNode* n = s.head; n != nullptr; n = n->next) n->drop(n);
+    }
+  }
+
   /// Current simulated time (picoseconds).
   Time now() const { return now_; }
 
-  /// Schedule `fn` at absolute time `t` (must be >= now()).
-  void at(Time t, std::function<void()> fn) {
-    if (t < now_) t = now_;
-    queue_.push(Event{t, next_seq_++, std::move(fn)});
+  /// Schedule `fn` at absolute time `t` (must be >= now(); clamped if not).
+  /// Any callable is accepted; small ones are stored inline in the event
+  /// node, large ones cost one boxed allocation.
+  template <typename F>
+  void at(Time t, F&& fn) {
+    schedule_node(make_node<std::decay_t<F>>(std::forward<F>(fn)), t);
   }
 
   /// Schedule `fn` after `delay` picoseconds.
-  void after(Time delay, std::function<void()> fn) {
-    at(now_ + (delay > 0 ? delay : 0), std::move(fn));
+  template <typename F>
+  void after(Time delay, F&& fn) {
+    EventNode* n = make_node<std::decay_t<F>>(std::forward<F>(fn));
+    if (delay <= 0)
+      ring_push(n);
+    else
+      schedule_future(n, now_ + delay);
   }
 
-  /// Process a single event. Returns false if the queue is empty.
+  /// Fast path: resume `h` at the current tick, FIFO with every other
+  /// same-tick event. Equivalent to after(0, [h]{ h.resume(); }) but
+  /// allocation-free and heap-free.
+  void schedule_resume(std::coroutine_handle<> h) {
+    ring_push(make_resume_node(h));
+  }
+
+  /// Fast path: resume `h` at absolute time `t` (clamped to now()).
+  void resume_at(Time t, std::coroutine_handle<> h) {
+    schedule_node(make_resume_node(h), t);
+  }
+
+  /// Fast path: resume `h` after `delay` picoseconds.
+  void resume_after(Time delay, std::coroutine_handle<> h) {
+    EventNode* n = make_resume_node(h);
+    if (delay <= 0)
+      ring_push(n);
+    else
+      schedule_future(n, now_ + delay);
+  }
+
+  /// Process a single event. Returns false if no event is pending.
   bool step() {
-    if (queue_.empty()) return false;
-    // priority_queue::top is const; the handler is moved out via const_cast,
-    // which is safe because the element is popped before the handler runs.
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    now_ = ev.time;
+    EventNode* n = pop_next();
+    if (n == nullptr) return false;
     ++processed_;
-    ev.fn();
+    // The invoke trampoline moves the payload out, releases the node back
+    // to the freelist, then runs the payload — so events scheduled by the
+    // payload reuse the hot node immediately.
+    n->invoke(*this, n);
     return true;
   }
 
@@ -56,31 +128,336 @@ class Simulator {
 
   /// Run all events with time <= `t`, then advance the clock to `t`.
   void run_until(Time t) {
-    while (!queue_.empty() && queue_.top().time <= t) step();
+    while (peek_time(t)) step();
     if (now_ < t) now_ = t;
   }
 
   std::uint64_t events_processed() const { return processed_; }
-  bool empty() const { return queue_.empty(); }
-  std::size_t pending() const { return queue_.size(); }
+  bool empty() const {
+    return ring_head_ == nullptr && wheel_size_ == 0 && heap_.empty();
+  }
+  std::size_t pending() const {
+    return ring_size_ + wheel_size_ + heap_.size();
+  }
 
  private:
-  struct Event {
-    Time time;
+  /// Inline payload budget. Sized so the capturing lambdas on the model's
+  /// hot paths (this + a couple of std::functions + a few scalars) stay
+  /// inline; with the 32-byte header the node stays under two cache lines.
+  static constexpr std::size_t kInlineBytes = 80;
+  /// Wheel window span in slots (1 slot = 1 ps). Power of two.
+  static constexpr Time kWheelSlots = 1024;
+
+  struct EventNode {
     std::uint64_t seq;
-    std::function<void()> fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
+    EventNode* next;  // freelist / ring / wheel-slot link
+    void (*invoke)(Simulator&, EventNode*);  // fire payload, release node
+    void (*drop)(EventNode*);                // destroy payload, no fire
+    alignas(std::max_align_t) unsigned char storage[kInlineBytes];
   };
 
+  /// One wheel slot: FIFO of nodes firing at time base_ + slot index.
+  struct Slot {
+    EventNode* head = nullptr;
+    EventNode* tail = nullptr;
+  };
+
+  /// Slim heap entry: sifting compares and moves these, not the nodes.
+  /// Fire time lives here and in the wheel geometry — never in the node.
+  struct HeapEntry {
+    Time time;
+    std::uint64_t seq;
+    EventNode* node;
+  };
+  static bool entry_less(const HeapEntry& a, const HeapEntry& b) {
+    return a.time < b.time || (a.time == b.time && a.seq < b.seq);
+  }
+
+  // ---- payload trampolines ----------------------------------------------
+
+  static void coro_invoke(Simulator& sim, EventNode* n) {
+    auto h = *std::launder(
+        reinterpret_cast<std::coroutine_handle<>*>(n->storage));
+    sim.release_node(n);
+    h.resume();
+  }
+
+  static void noop_drop(EventNode*) {}
+
+  template <typename F>
+  static void inline_invoke(Simulator& sim, EventNode* n) {
+    F* slot = std::launder(reinterpret_cast<F*>(n->storage));
+    F fn = std::move(*slot);
+    slot->~F();
+    sim.release_node(n);
+    fn();
+  }
+
+  template <typename F>
+  static void inline_drop(EventNode* n) {
+    std::launder(reinterpret_cast<F*>(n->storage))->~F();
+  }
+
+  template <typename F>
+  static void boxed_invoke(Simulator& sim, EventNode* n) {
+    F* boxed = *std::launder(reinterpret_cast<F**>(n->storage));
+    sim.release_node(n);
+    F fn = std::move(*boxed);
+    delete boxed;
+    fn();
+  }
+
+  template <typename F>
+  static void boxed_drop(EventNode* n) {
+    delete *std::launder(reinterpret_cast<F**>(n->storage));
+  }
+
+  template <typename F>
+  static constexpr bool fits_inline() {
+    return sizeof(F) <= kInlineBytes &&
+           alignof(F) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<F>;
+  }
+
+  template <typename F, typename Arg>
+  EventNode* make_node(Arg&& fn) {
+    EventNode* n = alloc_node();
+    n->seq = next_seq_++;
+    if constexpr (fits_inline<F>()) {
+      ::new (static_cast<void*>(n->storage)) F(std::forward<Arg>(fn));
+      n->invoke = &inline_invoke<F>;
+      n->drop = &inline_drop<F>;
+    } else {
+      F* boxed = new F(std::forward<Arg>(fn));
+      ::new (static_cast<void*>(n->storage)) (F*)(boxed);
+      n->invoke = &boxed_invoke<F>;
+      n->drop = &boxed_drop<F>;
+    }
+    return n;
+  }
+
+  EventNode* make_resume_node(std::coroutine_handle<> h) {
+    EventNode* n = alloc_node();
+    n->seq = next_seq_++;
+    n->invoke = &coro_invoke;
+    n->drop = &noop_drop;
+    ::new (static_cast<void*>(n->storage)) std::coroutine_handle<>(h);
+    return n;
+  }
+
+  // ---- slab / freelist ---------------------------------------------------
+
+  EventNode* alloc_node() {
+    if (free_ == nullptr) grow_slab();
+    EventNode* n = free_;
+    free_ = n->next;
+    return n;
+  }
+
+  void release_node(EventNode* n) {
+    n->next = free_;
+    free_ = n;
+  }
+
+  void grow_slab() {
+    // Fixed 64 KB slabs, two properties on purpose: default-init (not
+    // make_unique's value-init — nodes are fully written on allocation, so
+    // zeroing slabs would be pure memset overhead), and a size below the
+    // glibc mmap threshold so short-lived Simulators recycle arena memory
+    // instead of paying mmap/munmap plus kernel page-zeroing per instance.
+    constexpr std::size_t count = (64 * 1024) / sizeof(EventNode);
+    slabs_.emplace_back(new EventNode[count]);
+    EventNode* nodes = slabs_.back().get();
+    // Chain in reverse so allocation walks the slab in address order.
+    for (std::size_t i = count; i-- > 0;) {
+      nodes[i].next = free_;
+      free_ = &nodes[i];
+    }
+  }
+
+  // ---- scheduling --------------------------------------------------------
+
+  void schedule_node(EventNode* n, Time t) {
+    if (t <= now_)
+      ring_push(n);
+    else
+      schedule_future(n, t);
+  }
+
+  /// Route a strictly-future event to the wheel or the overflow heap.
+  /// Invariants: base_ <= now_ < t, so t - base_ > 0; the heap only ever
+  /// holds times >= base_ + kWheelSlots.
+  void schedule_future(EventNode* n, Time t) {
+    const Time rel = t - base_;
+    if (rel < kWheelSlots)
+      wheel_push(n, static_cast<std::size_t>(rel));
+    else
+      heap_push(n, t);
+  }
+
+  // ---- ready ring (same-tick FIFO) --------------------------------------
+
+  void ring_push(EventNode* n) {
+    n->next = nullptr;
+    if (ring_tail_ != nullptr)
+      ring_tail_->next = n;
+    else
+      ring_head_ = n;
+    ring_tail_ = n;
+    ++ring_size_;
+  }
+
+  EventNode* ring_pop() {
+    EventNode* n = ring_head_;
+    ring_head_ = n->next;
+    if (ring_head_ == nullptr) ring_tail_ = nullptr;
+    --ring_size_;
+    return n;
+  }
+
+  // ---- timing wheel ------------------------------------------------------
+
+  void wheel_push(EventNode* n, std::size_t rel) {
+    Slot& s = slots_[rel];
+    n->next = nullptr;
+    if (s.tail != nullptr)
+      s.tail->next = n;
+    else {
+      s.head = n;
+      bitmap_[rel >> 6] |= std::uint64_t{1} << (rel & 63);
+    }
+    s.tail = n;
+    ++wheel_size_;
+  }
+
+  EventNode* wheel_pop(std::size_t rel) {
+    Slot& s = slots_[rel];
+    EventNode* n = s.head;
+    s.head = n->next;
+    if (s.head == nullptr) {
+      s.tail = nullptr;
+      bitmap_[rel >> 6] &= ~(std::uint64_t{1} << (rel & 63));
+    }
+    --wheel_size_;
+    return n;
+  }
+
+  /// Index of the first occupied slot >= `from`; wheel must be non-empty
+  /// and hold no slot below `from`.
+  std::size_t next_occupied_slot(std::size_t from) const {
+    std::size_t w = from >> 6;
+    std::uint64_t word = bitmap_[w] & (~std::uint64_t{0} << (from & 63));
+    while (word == 0) word = bitmap_[++w];
+    return (w << 6) + static_cast<std::size_t>(std::countr_zero(word));
+  }
+
+  // ---- future-event heap -------------------------------------------------
+  //
+  // 4-ary min-heap on (time, seq): half the levels of a binary heap, and
+  // each level's four children share one or two cache lines. (time, seq)
+  // keys are unique, so the pop order — the only thing determinism sees —
+  // is the same for any correct priority structure.
+
+  void heap_push(EventNode* n, Time t) {
+    heap_.push_back(HeapEntry{t, n->seq, n});
+    std::size_t i = heap_.size() - 1;
+    const HeapEntry e = heap_[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) >> 2;
+      if (!entry_less(e, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      i = parent;
+    }
+    heap_[i] = e;
+  }
+
+  HeapEntry heap_pop() {
+    const HeapEntry result = heap_[0];
+    const HeapEntry e = heap_.back();
+    heap_.pop_back();
+    const std::size_t size = heap_.size();
+    if (size > 0) {
+      std::size_t i = 0;
+      for (;;) {
+        const std::size_t first = (i << 2) + 1;
+        if (first >= size) break;
+        const std::size_t last = std::min(first + 4, size);
+        std::size_t best = first;
+        for (std::size_t c = first + 1; c < last; ++c)
+          if (entry_less(heap_[c], heap_[best])) best = c;
+        if (!entry_less(heap_[best], e)) break;
+        heap_[i] = heap_[best];
+        i = best;
+      }
+      heap_[i] = e;
+    }
+    return result;
+  }
+
+  // ---- dispatch ----------------------------------------------------------
+
+  /// Pop the (time, seq)-minimum event and advance now_ to its fire time.
+  ///
+  /// Order argument: the slot at now_ holds only events scheduled before
+  /// this tick began (later same-tick schedules go to the ring), so its
+  /// seqs all precede the ring's; the ring precedes any strictly-later
+  /// slot; and every wheel time precedes every heap time.
+  EventNode* pop_next() {
+    if (wheel_size_ > 0) {
+      const Time rel = now_ - base_;
+      if (rel < kWheelSlots) {
+        Slot& s = slots_[rel];
+        if (s.head != nullptr)
+          return wheel_pop(static_cast<std::size_t>(rel));
+      }
+    }
+    if (ring_head_ != nullptr) return ring_pop();
+    if (wheel_size_ > 0) {
+      const std::size_t rel =
+          next_occupied_slot(static_cast<std::size_t>(now_ - base_));
+      now_ = base_ + static_cast<Time>(rel);
+      return wheel_pop(rel);
+    }
+    if (heap_.empty()) return nullptr;
+    // Advance the wheel window to the heap top; the top itself pops
+    // directly (the common sparse case costs no wheel round-trip), and any
+    // further entries that now fit migrate into the wheel. Equal-time
+    // entries pop in seq order and land in empty slots, so each slot FIFO
+    // stays seq-sorted.
+    base_ = heap_[0].time;
+    now_ = base_;
+    const HeapEntry top = heap_pop();
+    while (!heap_.empty() && heap_[0].time - base_ < kWheelSlots) {
+      const HeapEntry e = heap_pop();
+      wheel_push(e.node, static_cast<std::size_t>(e.time - base_));
+    }
+    return top.node;
+  }
+
+  /// True if an event with fire time <= `t` is pending.
+  bool peek_time(Time t) const {
+    if (ring_head_ != nullptr) return now_ <= t;
+    if (wheel_size_ > 0) {
+      const std::size_t rel =
+          next_occupied_slot(static_cast<std::size_t>(now_ - base_));
+      return base_ + static_cast<Time>(rel) <= t;
+    }
+    return !heap_.empty() && heap_[0].time <= t;
+  }
+
   Time now_ = 0;
+  Time base_ = 0;  ///< wheel window start; base_ <= now_ always
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  EventNode* ring_head_ = nullptr;
+  EventNode* ring_tail_ = nullptr;
+  std::size_t ring_size_ = 0;
+  std::size_t wheel_size_ = 0;
+  Slot slots_[kWheelSlots] = {};
+  std::uint64_t bitmap_[kWheelSlots / 64] = {};
+  std::vector<HeapEntry> heap_;
+  EventNode* free_ = nullptr;
+  std::vector<std::unique_ptr<EventNode[]>> slabs_;
 };
 
 }  // namespace apn::sim

@@ -5,20 +5,27 @@
 //   CreditPool — weighted (byte-granularity) semaphore for flow control
 //   Queue<T>   — unbounded async message queue
 //
-// All wakeups are scheduled as simulator events (never resumed inline), so
-// process interleaving is deterministic and stack depth stays bounded.
+// All five park coroutines on the shared intrusive WaiterList (waiter.hpp):
+// the waiter node is embedded in the awaiter inside the coroutine frame, so
+// suspending costs no allocation, and every wakeup goes through
+// Simulator::schedule_resume — the same-tick ready ring — never the heap.
+// Wakeups are always scheduled, never resumed inline, so process
+// interleaving is deterministic and stack depth stays bounded.
 #pragma once
 
+#include <cassert>
 #include <coroutine>
 #include <cstdint>
 #include <deque>
 #include <memory>
 #include <optional>
+#include <stdexcept>
+#include <string>
 #include <utility>
-#include <vector>
 
 #include "sim/coro.hpp"
 #include "sim/simulator.hpp"
+#include "sim/waiter.hpp"
 
 namespace apn::sim {
 
@@ -35,16 +42,17 @@ class Gate {
   void open() {
     if (open_) return;
     open_ = true;
-    for (auto h : waiters_) sim_->after(0, [h] { h.resume(); });
-    waiters_.clear();
+    while (!waiters_.empty()) sim_->schedule_resume(waiters_.pop()->handle);
   }
 
   auto wait() {
-    struct Awaiter {
+    struct Awaiter : Waiter {
       Gate& gate;
+      explicit Awaiter(Gate& g) : gate(g) {}
       bool await_ready() const noexcept { return gate.open_; }
       void await_suspend(std::coroutine_handle<> h) {
-        gate.waiters_.push_back(h);
+        handle = h;
+        gate.waiters_.push(this);
       }
       void await_resume() const noexcept {}
     };
@@ -54,7 +62,7 @@ class Gate {
  private:
   Simulator* sim_;
   bool open_ = false;
-  std::vector<std::coroutine_handle<>> waiters_;
+  WaiterList<> waiters_;
 };
 
 /// One-shot event carrying a value. Copyable shared handle: producer calls
@@ -62,8 +70,7 @@ class Gate {
 template <typename T>
 class Future {
  public:
-  explicit Future(Simulator& sim)
-      : state_(std::make_shared<State>(State{&sim, {}, {}})) {}
+  explicit Future(Simulator& sim) : state_(std::make_shared<State>(sim)) {}
 
   bool ready() const { return state_->value.has_value(); }
 
@@ -71,19 +78,20 @@ class Future {
     State& st = *state_;
     if (st.value.has_value()) return;  // one-shot
     st.value = std::move(value);
-    for (auto h : st.waiters) st.sim->after(0, [h] { h.resume(); });
-    st.waiters.clear();
+    while (!st.waiters.empty()) st.sim->schedule_resume(st.waiters.pop()->handle);
   }
 
   /// Value access once ready.
   const T& get() const { return *state_->value; }
 
   auto operator co_await() {
-    struct Awaiter {
+    struct Awaiter : Waiter {
       std::shared_ptr<State> st;
+      explicit Awaiter(std::shared_ptr<State> s) : st(std::move(s)) {}
       bool await_ready() const noexcept { return st->value.has_value(); }
       void await_suspend(std::coroutine_handle<> h) {
-        st->waiters.push_back(h);
+        handle = h;
+        st->waiters.push(this);
       }
       T await_resume() const { return *st->value; }
     };
@@ -92,15 +100,22 @@ class Future {
 
  private:
   struct State {
+    explicit State(Simulator& s) : sim(&s) {}
     Simulator* sim;
     std::optional<T> value;
-    std::vector<std::coroutine_handle<>> waiters;
+    WaiterList<> waiters;
   };
   std::shared_ptr<State> state_;
 };
 
 /// Counting semaphore; acquire() suspends while the count is zero.
 /// Waiters are woken strictly FIFO.
+///
+/// No-spurious-wake invariant: a non-empty waiter list implies count_ == 0.
+/// acquire() only decrements when no one is queued ahead, and release()
+/// hands the permit directly to the oldest waiter instead of incrementing —
+/// so a woken waiter never has to re-check and re-queue, and a release can
+/// never be stolen by a later try_acquire().
 class Semaphore {
  public:
   Semaphore(Simulator& sim, std::int64_t initial)
@@ -112,15 +127,17 @@ class Semaphore {
   std::size_t waiting() const { return waiters_.size(); }
 
   auto acquire() {
-    struct Awaiter {
+    struct Awaiter : Waiter {
       Semaphore& sem;
+      explicit Awaiter(Semaphore& s) : sem(s) {}
       bool await_ready() const noexcept { return false; }
       bool await_suspend(std::coroutine_handle<> h) {
         if (sem.count_ > 0 && sem.waiters_.empty()) {
           --sem.count_;
           return false;  // resume immediately
         }
-        sem.waiters_.push_back(h);
+        handle = h;
+        sem.waiters_.push(this);
         return true;
       }
       void await_resume() const noexcept {}
@@ -139,9 +156,11 @@ class Semaphore {
 
   void release() {
     if (!waiters_.empty()) {
-      auto h = waiters_.front();
-      waiters_.pop_front();
-      sim_->after(0, [h] { h.resume(); });
+      // Direct handoff: the invariant guarantees no permits are banked
+      // while anyone waits, so the released permit belongs to the head
+      // waiter — waking it is never spurious.
+      assert(count_ == 0 && "semaphore invariant: waiters imply count==0");
+      sim_->schedule_resume(waiters_.pop()->handle);
     } else {
       ++count_;
     }
@@ -150,7 +169,7 @@ class Semaphore {
  private:
   Simulator* sim_;
   std::int64_t count_;
-  std::deque<std::coroutine_handle<>> waiters_;
+  WaiterList<> waiters_;
 };
 
 /// Weighted semaphore with FIFO ordering — models byte-granularity buffer
@@ -168,17 +187,30 @@ class CreditPool {
   std::int64_t available() const { return available_; }
   std::int64_t in_use() const { return capacity_ - available_; }
 
+  /// Reserve `n` units, suspending until they are free. For a bounded pool
+  /// (capacity > 0), throws std::invalid_argument when the request can
+  /// never be satisfied (n < 0 or n > capacity()) — previously such a
+  /// request parked the caller forever and, being head-of-line, deadlocked
+  /// the whole pool. A pool built with capacity 0 is a pure counting
+  /// pool (e.g. an arrived-bytes counter fed by release()); any
+  /// non-negative request is legal there.
   auto acquire(std::int64_t n) {
-    struct Awaiter {
+    if (n < 0 || (capacity_ > 0 && n > capacity_))
+      throw std::invalid_argument(
+          "CreditPool::acquire: request of " + std::to_string(n) +
+          " units can never be satisfied (capacity " +
+          std::to_string(capacity_) + ")");
+    struct Awaiter : CreditWaiter {
       CreditPool& pool;
-      std::int64_t need;
+      Awaiter(CreditPool& p, std::int64_t n) : pool(p) { need = n; }
       bool await_ready() const noexcept { return false; }
       bool await_suspend(std::coroutine_handle<> h) {
         if (pool.waiters_.empty() && pool.available_ >= need) {
           pool.available_ -= need;
           return false;
         }
-        pool.waiters_.push_back(Waiter{need, h});
+        handle = h;
+        pool.waiters_.push(this);
         return true;
       }
       void await_resume() const noexcept {}
@@ -188,23 +220,21 @@ class CreditPool {
 
   void release(std::int64_t n) {
     available_ += n;
-    while (!waiters_.empty() && waiters_.front().need <= available_) {
-      Waiter w = waiters_.front();
-      waiters_.pop_front();
-      available_ -= w.need;
-      sim_->after(0, [h = w.handle] { h.resume(); });
+    while (!waiters_.empty() && waiters_.front()->need <= available_) {
+      CreditWaiter* w = waiters_.pop();
+      available_ -= w->need;
+      sim_->schedule_resume(w->handle);
     }
   }
 
  private:
-  struct Waiter {
-    std::int64_t need;
-    std::coroutine_handle<> handle;
+  struct CreditWaiter : Waiter {
+    std::int64_t need = 0;
   };
   Simulator* sim_;
   std::int64_t capacity_;
   std::int64_t available_;
-  std::deque<Waiter> waiters_;
+  WaiterList<CreditWaiter> waiters_;
 };
 
 /// Unbounded async FIFO queue. pop() suspends while empty; push() never
@@ -225,19 +255,19 @@ class Queue {
 
   void push(T item) {
     if (!waiters_.empty()) {
-      Waiter w = waiters_.front();
-      waiters_.pop_front();
-      *w.slot = std::move(item);
-      sim_->after(0, [h = w.handle] { h.resume(); });
+      QueueWaiter* w = waiters_.pop();
+      *w->slot = std::move(item);
+      sim_->schedule_resume(w->handle);
       return;
     }
     items_.push_back(std::move(item));
   }
 
   auto pop() {
-    struct Awaiter {
+    struct Awaiter : QueueWaiter {
       Queue& q;
       std::optional<T> item;
+      explicit Awaiter(Queue& queue) : q(queue) {}
       bool await_ready() {
         if (!q.items_.empty()) {
           item = std::move(q.items_.front());
@@ -247,21 +277,22 @@ class Queue {
         return false;
       }
       void await_suspend(std::coroutine_handle<> h) {
-        q.waiters_.push_back(Waiter{h, &item});
+        this->handle = h;
+        this->slot = &item;
+        q.waiters_.push(this);
       }
       T await_resume() { return std::move(*item); }
     };
-    return Awaiter{*this, std::nullopt};
+    return Awaiter{*this};
   }
 
  private:
-  struct Waiter {
-    std::coroutine_handle<> handle;
-    std::optional<T>* slot;
+  struct QueueWaiter : Waiter {
+    std::optional<T>* slot = nullptr;
   };
   Simulator* sim_;
   std::deque<T> items_;
-  std::deque<Waiter> waiters_;
+  WaiterList<QueueWaiter> waiters_;
 };
 
 }  // namespace apn::sim

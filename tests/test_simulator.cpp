@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "sim/simulator.hpp"
@@ -110,6 +111,121 @@ TEST(Simulator, ManyEventsStressOrdering) {
   sim.run();
   EXPECT_TRUE(monotone);
   EXPECT_EQ(sim.events_processed(), 10000u);
+}
+
+TEST(Simulator, ReadyRingRunsAfterPendingSlotEvents) {
+  // Events scheduled *before* the current tick began (they sit in the
+  // timing-wheel slot for `now`) run before events created at delay 0
+  // *during* the tick (they go to the same-tick ready ring). Both precede
+  // anything at a later time. This is exactly the old (time, seq) order.
+  Simulator sim;
+  std::vector<int> order;
+  sim.after(us(1), [&] {
+    order.push_back(1);
+    sim.after(0, [&] { order.push_back(3); });  // ready ring
+    sim.after(us(1), [&] { order.push_back(4); });
+  });
+  sim.after(us(1), [&] { order.push_back(2); });  // same slot, later seq
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(Simulator, ReadyRingIsFifoUnderNesting) {
+  // Zero-delay events spawned from zero-delay events keep FIFO order and
+  // never advance the clock.
+  Simulator sim;
+  std::vector<int> order;
+  sim.after(0, [&] {
+    order.push_back(1);
+    sim.after(0, [&] { order.push_back(3); });
+  });
+  sim.after(0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 0);
+}
+
+TEST(Simulator, WheelToHeapBoundarySpansKeepOrder) {
+  // Exercise delays straddling the 1024-tick wheel window: in-window
+  // (wheel), exactly at the boundary, and far beyond (overflow heap),
+  // including events scheduled for the same far tick from different
+  // wheel epochs. Order must be strictly (time, seq).
+  Simulator sim;
+  std::vector<Time> fired;
+  const Time far = 100000;
+  sim.after(far, [&] { fired.push_back(sim.now()); });   // heap
+  sim.after(1024, [&] { fired.push_back(sim.now()); });  // first out-of-window
+  sim.after(1023, [&] { fired.push_back(sim.now()); });  // last in-window
+  sim.after(3, [&] {
+    fired.push_back(sim.now());
+    sim.after(far - 3, [&] { fired.push_back(sim.now()); });  // same far tick
+  });
+  sim.run();
+  EXPECT_EQ(fired, (std::vector<Time>{3, 1023, 1024, far, far}));
+  EXPECT_EQ(sim.events_processed(), 5u);
+}
+
+TEST(Simulator, PendingAndEmptyTrackAllThreeStores) {
+  Simulator sim;
+  EXPECT_TRUE(sim.empty());
+  sim.after(0, [] {});        // ready ring
+  sim.after(10, [] {});       // wheel
+  sim.after(1 << 20, [] {});  // heap
+  EXPECT_EQ(sim.pending(), 3u);
+  EXPECT_FALSE(sim.empty());
+  sim.run();
+  EXPECT_TRUE(sim.empty());
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, RunUntilDoesNotRunFutureRingOrWheelEvents) {
+  Simulator sim;
+  int ran = 0;
+  sim.after(us(2), [&] {
+    ++ran;
+    sim.after(0, [&] { ++ran; });  // same tick: must run within run_until
+  });
+  sim.after(us(5), [&] { ++ran; });
+  sim.run_until(us(3));
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(sim.now(), us(3));
+  sim.run();
+  EXPECT_EQ(ran, 3);
+}
+
+TEST(Simulator, MoveOnlyAndOversizedCallablesFire) {
+  // Move-only payloads ride the inline path; payloads larger than the
+  // node's inline storage take the boxed path. Both must fire exactly
+  // once and destroy cleanly.
+  Simulator sim;
+  auto big = std::make_unique<int>(7);
+  int got = 0;
+  sim.after(1, [p = std::move(big), &got] { got = *p; });
+  struct Fat {
+    long long pad[14] = {};  // > inline storage
+    int* out;
+  };
+  Fat fat;
+  int fat_got = 0;
+  fat.out = &fat_got;
+  sim.after(2, [fat] { *fat.out = 42; });
+  sim.run();
+  EXPECT_EQ(got, 7);
+  EXPECT_EQ(fat_got, 42);
+}
+
+TEST(Simulator, DestructorReclaimsUnfiredEvents) {
+  // Unfired events in ring, wheel, and heap are dropped (payload dtors
+  // run) when the Simulator dies — ASan/LSan guards this.
+  auto token = std::make_shared<int>(1);
+  {
+    Simulator sim;
+    sim.after(0, [token] {});
+    sim.after(100, [token] {});
+    sim.after(1 << 20, [token] {});
+    EXPECT_EQ(token.use_count(), 4);
+  }
+  EXPECT_EQ(token.use_count(), 1);
 }
 
 }  // namespace

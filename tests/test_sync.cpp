@@ -151,6 +151,44 @@ TEST(CreditPool, HeadOfLineBlockingIsFifo) {
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
+TEST(CreditPool, OverCapacityRequestThrows) {
+  // A request that can never be satisfied used to park the caller forever
+  // and (being head-of-line) deadlock every later acquirer. It must fail
+  // loudly instead — at acquire() time, before anything suspends.
+  Simulator sim;
+  CreditPool pool(sim, 1024);
+  EXPECT_THROW(pool.acquire(1025), std::invalid_argument);
+  EXPECT_THROW(pool.acquire(-1), std::invalid_argument);
+  // The pool is still usable after a rejected request.
+  EXPECT_EQ(pool.available(), 1024);
+  bool ran = false;
+  auto ok = [](CreditPool& p, bool& ran) -> Coro {
+    co_await p.acquire(1024);
+    ran = true;
+  };
+  ok(pool, ran);
+  sim.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(CreditPool, ZeroCapacityIsCountingPool) {
+  // capacity == 0 means "pure counting pool" (e.g. an arrived-bytes
+  // counter that is only ever fed by release()): any non-negative request
+  // is legal and waits for producers.
+  Simulator sim;
+  CreditPool pool(sim, 0);
+  std::vector<int> order;
+  auto consumer = [](CreditPool& p, std::vector<int>& order) -> Coro {
+    co_await p.acquire(4096);
+    order.push_back(1);
+  };
+  consumer(pool, order);
+  EXPECT_THROW(pool.acquire(-1), std::invalid_argument);
+  sim.after(us(1), [&] { pool.release(4096); });
+  sim.run();
+  ASSERT_EQ(order.size(), 1u);
+}
+
 TEST(Queue, FifoDelivery) {
   Simulator sim;
   Queue<int> q(sim);
