@@ -3,7 +3,10 @@
 // 1536 MB/s data rate with 32 B descriptors). Smaller granules waste
 // mailbox bandwidth and descriptor processing; larger granules lengthen
 // the response pipeline and hurt small messages. This sweep quantifies
-// that design point.
+// that design point. Each (granule, msg size) cell is an independent
+// simulation run as a runner point.
+#include <optional>
+
 #include "bench_common.hpp"
 #include "core/gpu_p2p_tx.hpp"
 
@@ -35,19 +38,45 @@ Result read_bw(std::uint32_t granule, std::uint64_t msg) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace apn;
+  bench::Runner runner(argc, argv);
   bench::print_header("ABLATION",
                       "GPU_P2P_TX read-request granularity (v3, flushed)");
 
+  const std::uint32_t granules[] = {128u, 256u, 512u, 1024u, 2048u, 4096u};
+  // results[gi][0] = 64K msg, results[gi][1] = 1M msg.
+  std::array<std::array<std::optional<Result>, 2>, 6> results;
+
+  for (std::size_t gi = 0; gi < 6; ++gi) {
+    const std::uint32_t g = granules[gi];
+    runner.add(strf("granule/%uB/64K", g), [&results, gi, g] {
+      Result r = read_bw(g, 64 * 1024);
+      results[gi][0] = r;
+      bench::JsonSink::global().record("ablation_granule",
+                                       strf("%uB/64K", g), r.mbps);
+    });
+    runner.add(strf("granule/%uB/1M", g), [&results, gi, g] {
+      Result r = read_bw(g, 1 << 20);
+      results[gi][1] = r;
+      bench::JsonSink::global().record("ablation_granule", strf("%uB/1M", g),
+                                       r.mbps);
+      bench::JsonSink::global().record("ablation_granule",
+                                       strf("%uB/protocol", g),
+                                       r.protocol_mbps);
+    });
+  }
+  runner.run();
+
   TextTable t({"Granule", "64K msg MB/s", "1M msg MB/s",
                "protocol traffic", "descriptors per MB"});
-  for (std::uint32_t g : {128u, 256u, 512u, 1024u, 2048u, 4096u}) {
-    Result small = read_bw(g, 64 * 1024);
-    Result large = read_bw(g, 1 << 20);
-    t.add_row({strf("%u B", g), strf("%.0f", small.mbps),
-               strf("%.0f", large.mbps),
-               strf("%.0f MB/s", large.protocol_mbps),
+  for (std::size_t gi = 0; gi < 6; ++gi) {
+    const std::uint32_t g = granules[gi];
+    const auto& small = results[gi][0];
+    const auto& large = results[gi][1];
+    t.add_row({strf("%u B", g), small ? strf("%.0f", small->mbps) : "-",
+               large ? strf("%.0f", large->mbps) : "-",
+               large ? strf("%.0f MB/s", large->protocol_mbps) : "-",
                strf("%u", (1u << 20) / g)});
   }
   t.print();

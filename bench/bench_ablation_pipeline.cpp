@@ -2,7 +2,8 @@
 // chunk size and threshold of the CUDA-aware large-message protocol the
 // paper's §II discusses. Shows the trade-off the MPI libraries of the era
 // had to make: big chunks amortize copy overheads, small chunks pipeline
-// better.
+// better. Each (size, config) cell is an independent simulation run as a
+// runner point.
 #include "bench_common.hpp"
 
 namespace {
@@ -26,18 +27,49 @@ double gg_bw(std::uint32_t chunk, std::uint32_t threshold,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace apn;
+  bench::Runner runner(argc, argv);
   bench::print_header("ABLATION",
                       "MVAPICH-style GPU pipeline chunk size (IB G-G)");
 
+  struct Config {
+    const char* label;
+    std::uint32_t chunk;
+    std::uint32_t threshold;
+  };
+  const Config configs[] = {
+      {"chunk64K", 64 << 10, 32 << 10},
+      {"chunk256K", 256 << 10, 32 << 10},
+      {"chunk1M", 1 << 20, 32 << 10},
+      {"staged", 256 << 10, 64 << 20},
+  };
+  const std::uint64_t sizes[] = {256ull << 10, 1ull << 20, 4ull << 20};
+
+  bench::Cell results[3][4];
+  for (std::size_t si = 0; si < 3; ++si) {
+    for (std::size_t ci = 0; ci < 4; ++ci) {
+      const std::uint64_t size = sizes[si];
+      const Config cfg = configs[ci];
+      runner.add(
+          "pipeline/" + std::string(cfg.label) + "/" + size_label(size),
+          [&results, si, ci, cfg, size] {
+            double v = gg_bw(cfg.chunk, cfg.threshold, size);
+            results[si][ci] = v;
+            bench::JsonSink::global().record(
+                "ablation_pipeline",
+                std::string(cfg.label) + "/" + size_label(size), v);
+          });
+    }
+  }
+  runner.run();
+
   TextTable t({"Msg size", "chunk 64K", "chunk 256K", "chunk 1M",
                "no pipeline (staged)"});
-  for (std::uint64_t size : {256ull << 10, 1ull << 20, 4ull << 20}) {
-    t.add_row({size_label(size), strf("%.0f", gg_bw(64 << 10, 32 << 10, size)),
-               strf("%.0f", gg_bw(256 << 10, 32 << 10, size)),
-               strf("%.0f", gg_bw(1 << 20, 32 << 10, size)),
-               strf("%.0f", gg_bw(256 << 10, 64 << 20, size))});
+  for (std::size_t si = 0; si < 3; ++si) {
+    t.add_row({size_label(sizes[si]), results[si][0].str("%.0f"),
+               results[si][1].str("%.0f"), results[si][2].str("%.0f"),
+               results[si][3].str("%.0f")});
   }
   t.print();
   std::printf(

@@ -3,19 +3,34 @@
 // Every bench prints (a) the paper's expected numbers for the experiment it
 // regenerates and (b) the model's measured numbers, in a diff-friendly
 // table. Each measurement uses a fresh Simulator+Cluster so runs are
-// independent and bit-reproducible.
+// independent and bit-reproducible — which also makes them embarrassingly
+// parallel: sweep-heavy benches declare their measurements as points on
+// `bench::Runner` (a thin wrapper over `exp::ParallelRunner`) and regain
+// the core count in wall-clock while producing byte-identical output at
+// any `--jobs` level.
+//
+// Common bench flags (see also EXPERIMENTS.md):
+//   --jobs=N           worker threads (default: APN_JOBS, else all cores)
+//   --filter=<substr>  run only points whose name contains the substring
+//   --list             print point names (one per line) and exit
+//   --json=<path>      NDJSON record per measured point (APN_BENCH_JSON)
 #pragma once
 
+#include <array>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "cluster/cluster.hpp"
 #include "cluster/harness.hpp"
 #include "common/table.hpp"
+#include "exp/runner.hpp"
 
 namespace apn::bench {
 
@@ -26,6 +41,13 @@ namespace apn::bench {
 /// `paper` is null when the paper gives no quantitative target for the
 /// point. Inert (no file, no output) when neither switch is present, so
 /// the human-readable tables stay the default interface.
+///
+/// Concurrency: the sink is internally synchronized, and every record is
+/// flushed to the file as soon as it is written, so an aborted run keeps
+/// every completed line of NDJSON. Under `bench::Runner` the records a
+/// point emits while measuring are captured in a per-point buffer and
+/// flushed in declaration order, so the NDJSON stream is byte-identical
+/// at any job count.
 class JsonSink {
  public:
   static JsonSink& global() {
@@ -34,40 +56,95 @@ class JsonSink {
   }
 
   /// Parse --json=<path> / APN_BENCH_JSON; call once at bench startup.
+  /// An explicit empty `--json=` is a usage error (exit 2); an empty
+  /// APN_BENCH_JSON is reported and treated as unset.
   void init(int argc, char** argv) {
-    const char* path = std::getenv("APN_BENCH_JSON");
+    const char* flag = nullptr;
     for (int i = 1; i < argc; ++i) {
-      if (std::strncmp(argv[i], "--json=", 7) == 0) path = argv[i] + 7;
+      if (std::strncmp(argv[i], "--json=", 7) == 0) flag = argv[i] + 7;
     }
-    if (path == nullptr || *path == '\0') return;
-    out_ = std::fopen(path, "w");
-    if (out_ == nullptr)
-      std::fprintf(stderr, "warning: cannot open %s for JSON output\n", path);
+    if (flag != nullptr && *flag == '\0') {
+      std::fprintf(stderr, "error: --json= requires a non-empty path\n");
+      std::exit(2);
+    }
+    const char* path = flag;
+    if (path == nullptr) {
+      path = std::getenv("APN_BENCH_JSON");
+      if (path != nullptr && *path == '\0') {
+        std::fprintf(
+            stderr,
+            "warning: APN_BENCH_JSON is empty; NDJSON output disabled\n");
+        return;
+      }
+    }
+    if (path == nullptr) return;
+    open(path);
+  }
+
+  /// Open `path` for NDJSON output (closing any previous file). Returns
+  /// false (with a warning) when the file cannot be created.
+  bool open(const std::string& path) {
+    close();
+    out_ = std::fopen(path.c_str(), "w");
+    if (out_ == nullptr) {
+      std::fprintf(stderr, "warning: cannot open %s for JSON output\n",
+                   path.c_str());
+      return false;
+    }
+    return true;
+  }
+
+  void close() {
+    if (out_ != nullptr) std::fclose(out_);
+    out_ = nullptr;
   }
 
   bool enabled() const { return out_ != nullptr; }
 
   /// Emit one measurement. Pass NAN for `paper` when the paper has no
-  /// number for this point (serialized as null).
+  /// number for this point (serialized as null). Buffered per-point under
+  /// the runner; written and flushed immediately otherwise.
   void record(const std::string& bench, const std::string& point,
               double model, double paper = NAN) {
     if (out_ == nullptr) return;
-    std::fprintf(out_, "{\"bench\": \"%s\", \"point\": \"%s\", ",
-                 escaped(bench).c_str(), escaped(point).c_str());
-    write_number("model", model);
-    std::fputs(", ", out_);
-    write_number("paper", paper);
-    std::fputs("}\n", out_);
+    std::string line = "{\"bench\": \"" + escaped(bench) +
+                       "\", \"point\": \"" + escaped(point) + "\", ";
+    append_number(line, "model", model);
+    line += ", ";
+    append_number(line, "paper", paper);
+    line += "}\n";
+    if (std::string* buf = tls_buffer()) {
+      *buf += line;
+      return;
+    }
+    write_raw(line);
   }
 
-  ~JsonSink() {
-    if (out_ != nullptr) std::fclose(out_);
+  /// Route this thread's records into `buf` (nullptr restores direct
+  /// writes). Used by bench::Runner to commit point records in
+  /// declaration order.
+  void set_thread_buffer(std::string* buf) { tls_buffer() = buf; }
+
+  /// Write pre-formatted record text (a point's buffered lines) under the
+  /// sink lock, flushing so partial output survives aborted runs.
+  void write_raw(const std::string& text) {
+    if (out_ == nullptr || text.empty()) return;
+    std::lock_guard<std::mutex> lk(mu_);
+    std::fwrite(text.data(), 1, text.size(), out_);
+    std::fflush(out_);
   }
+
+  ~JsonSink() { close(); }
 
  private:
   JsonSink() = default;
   JsonSink(const JsonSink&) = delete;
   JsonSink& operator=(const JsonSink&) = delete;
+
+  static std::string*& tls_buffer() {
+    thread_local std::string* b = nullptr;
+    return b;
+  }
 
   static std::string escaped(const std::string& s) {
     std::string out;
@@ -79,14 +156,91 @@ class JsonSink {
     return out;
   }
 
-  void write_number(const char* key, double v) {
+  static void append_number(std::string& out, const char* key, double v) {
+    char buf[64];
     if (std::isnan(v))
-      std::fprintf(out_, "\"%s\": null", key);
+      std::snprintf(buf, sizeof buf, "\"%s\": null", key);
     else
-      std::fprintf(out_, "\"%s\": %.17g", key, v);
+      std::snprintf(buf, sizeof buf, "\"%s\": %.17g", key, v);
+    out += buf;
   }
 
+  std::mutex mu_;
   std::FILE* out_ = nullptr;
+};
+
+/// Bench-side wrapper over exp::ParallelRunner: parses the shared bench
+/// flags (--jobs/--filter/--list via the runner, --json via JsonSink) and
+/// wraps every point so JsonSink records emitted during the concurrent
+/// work phase are flushed in declaration order.
+class Runner {
+ public:
+  Runner(int argc, char** argv)
+      : inner_(exp::RunnerOptions::from_args(argc, argv)) {
+    JsonSink::global().init(argc, argv);
+  }
+
+  /// Declare one measurement point. `work` runs concurrently and must own
+  /// everything it touches (fresh Simulator+Cluster, distinct result
+  /// slot). It may return a commit closure to run on the main thread in
+  /// declaration order, or return void when slot writes are enough.
+  template <typename F>
+  void add(std::string name, F&& work) {
+    if constexpr (std::is_void_v<std::invoke_result_t<F&>>) {
+      add_point(std::move(name), [w = std::forward<F>(work)]() mutable {
+        w();
+        return exp::ParallelRunner::Commit{};
+      });
+    } else {
+      add_point(std::move(name), exp::ParallelRunner::Work(
+                                     std::forward<F>(work)));
+    }
+  }
+
+  /// Execute all points (honoring --filter / --list); commits and NDJSON
+  /// flush in declaration order. Returns the number of points executed.
+  std::size_t run() { return inner_.run(); }
+
+  int jobs() const { return inner_.jobs(); }
+
+ private:
+  void add_point(std::string name, exp::ParallelRunner::Work work) {
+    inner_.add(std::move(name), [work = std::move(work)]() {
+      JsonSink& js = JsonSink::global();
+      std::string buffered;
+      js.set_thread_buffer(&buffered);
+      exp::ParallelRunner::Commit commit;
+      try {
+        commit = work();
+      } catch (...) {
+        js.set_thread_buffer(nullptr);
+        throw;
+      }
+      js.set_thread_buffer(nullptr);
+      return exp::ParallelRunner::Commit(
+          [commit = std::move(commit), buffered = std::move(buffered)]() {
+            JsonSink::global().write_raw(buffered);
+            if (commit) commit();
+          });
+    });
+  }
+
+  exp::ParallelRunner inner_;
+};
+
+/// One cell of a bench result matrix, filled in by a runner point; prints
+/// "-" until set so --filter reruns render partial tables gracefully.
+struct Cell {
+  double v = NAN;
+  bool filled = false;
+  Cell& operator=(double x) {
+    v = x;
+    filled = true;
+    return *this;
+  }
+  std::string str(const char* fmt) const {
+    return filled ? strf(fmt, v) : "-";
+  }
 };
 
 /// Message sizes of the paper's bandwidth figures (32 B - 4 MB).

@@ -6,7 +6,8 @@
 //
 // We run the same L=256 lattice on 8 nodes decomposed 1-D (8x1 slabs) and
 // 2-D (4x2 bricks), with P2P=ON and staging, and compare the communication
-// advantage.
+// advantage. Each (L, decomposition, mode) run is an independent
+// simulation declared as a runner point.
 #include "apps/hsg/runner.hpp"
 #include "apps/hsg/runner2d.hpp"
 #include "bench_common.hpp"
@@ -52,32 +53,63 @@ apps::hsg::HsgMetrics run_2d(int L, int np, int pz, int py, CommMode mode,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace apn;
+  bench::Runner runner(argc, argv);
   bench::print_header(
       "EXTENSION", "1-D vs 2-D decomposition (the paper's conjecture)");
 
   const int np = 8;
+  const int sides[] = {64, 128, 256};
+  // tnet[L][0..3] = 1-D ON, 1-D OFF, 2-D ON, 2-D OFF.
+  bench::Cell tnet[3][4];
+  std::uint64_t halo2d[3] = {0, 0, 0};
+
+  for (std::size_t li = 0; li < 3; ++li) {
+    const int L = sides[li];
+    runner.add(strf("hsg2d/L%d/1d/P2P=ON", L), [&tnet, li, L] {
+      tnet[li][0] = run_1d(L, np, CommMode::kP2pOn).tnet_ps;
+      bench::JsonSink::global().record("ext_hsg2d",
+                                       strf("1d_on/L%d", L), tnet[li][0].v);
+    });
+    runner.add(strf("hsg2d/L%d/1d/P2P=OFF", L), [&tnet, li, L] {
+      tnet[li][1] = run_1d(L, np, CommMode::kP2pOff).tnet_ps;
+      bench::JsonSink::global().record("ext_hsg2d",
+                                       strf("1d_off/L%d", L), tnet[li][1].v);
+    });
+    runner.add(strf("hsg2d/L%d/2d/P2P=ON", L), [&tnet, &halo2d, li, L] {
+      tnet[li][2] = run_2d(L, np, 4, 2, CommMode::kP2pOn, &halo2d[li]).tnet_ps;
+      bench::JsonSink::global().record("ext_hsg2d",
+                                       strf("2d_on/L%d", L), tnet[li][2].v);
+    });
+    runner.add(strf("hsg2d/L%d/2d/P2P=OFF", L), [&tnet, li, L] {
+      tnet[li][3] = run_2d(L, np, 4, 2, CommMode::kP2pOff, nullptr).tnet_ps;
+      bench::JsonSink::global().record("ext_hsg2d",
+                                       strf("2d_off/L%d", L), tnet[li][3].v);
+    });
+  }
+  runner.run();
+
   TextTable t({"L", "Decomposition", "halo/rank/phase", "Tnet P2P=ON",
                "Tnet P2P=OFF", "P2P advantage"});
-  auto adv = [](double on, double off) {
-    return strf("%.0f%%", 100.0 * (off - on) / off);
+  auto adv = [](const bench::Cell& on, const bench::Cell& off) {
+    return on.filled && off.filled
+               ? strf("%.0f%%", 100.0 * (off.v - on.v) / off.v)
+               : std::string("-");
   };
-  for (int L : {64, 128, 256}) {
-    std::uint64_t halo2d = 0;
-    auto d1_on = run_1d(L, np, CommMode::kP2pOn);
-    auto d1_off = run_1d(L, np, CommMode::kP2pOff);
-    auto d2_on = run_2d(L, np, 4, 2, CommMode::kP2pOn, &halo2d);
-    auto d2_off = run_2d(L, np, 4, 2, CommMode::kP2pOff, nullptr);
+  auto ps = [](const bench::Cell& c) {
+    return c.filled ? strf("%.0f ps/spin", c.v) : std::string("-");
+  };
+  for (std::size_t li = 0; li < 3; ++li) {
+    const int L = sides[li];
     std::uint64_t halo1d = 2ull * L * L / 2 * sizeof(apps::hsg::Spin);
     t.add_row({strf("%d", L), "1-D (8 slabs)", size_label(halo1d),
-               strf("%.0f ps/spin", d1_on.tnet_ps),
-               strf("%.0f ps/spin", d1_off.tnet_ps),
-               adv(d1_on.tnet_ps, d1_off.tnet_ps)});
-    t.add_row({"", "2-D (4x2 bricks)", size_label(halo2d),
-               strf("%.0f ps/spin", d2_on.tnet_ps),
-               strf("%.0f ps/spin", d2_off.tnet_ps),
-               adv(d2_on.tnet_ps, d2_off.tnet_ps)});
+               ps(tnet[li][0]), ps(tnet[li][1]),
+               adv(tnet[li][0], tnet[li][1])});
+    t.add_row({"", "2-D (4x2 bricks)",
+               halo2d[li] != 0 ? size_label(halo2d[li]) : "-",
+               ps(tnet[li][2]), ps(tnet[li][3]),
+               adv(tnet[li][2], tnet[li][3])});
   }
   t.print();
 

@@ -2,63 +2,96 @@
 // to the 16- and 24-node torus configurations ("Unfortunately, we are
 // currently limited to an 8-nodes test environment; this is going to
 // change in the next few months, when we will be able to scale up to
-// 16/24 nodes"). Set APN_BENCH_SCALE to shrink the BFS graph.
+// 16/24 nodes"). Set APN_BENCH_SCALE to shrink the BFS graph. Each (app,
+// NP) configuration is an independent simulation run as a runner point.
+#include <optional>
+
 #include "apps/bfs/bfs.hpp"
 #include "apps/hsg/runner.hpp"
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
   using namespace apn;
-  bench::JsonSink::global().init(argc, argv);
+  bench::Runner runner(argc, argv);
   bench::print_header("EXTENSION",
                       "Projected 16/24-node scaling (paper future work)");
 
   // --- HSG strong scaling beyond 8 nodes ------------------------------------
-  std::printf("\nHSG L=384, P2P=ON, ps per spin update:\n");
-  TextTable hsg({"NP", "Ttot", "Tnet", "speedup"});
-  double base = 0;
-  for (int np : {1, 2, 4, 8, 16, 24}) {
+  const int hsg_nps[] = {1, 2, 4, 8, 16, 24};
+  std::array<std::optional<apps::hsg::HsgMetrics>, 6> hsg_m;
+  for (std::size_t ni = 0; ni < 6; ++ni) {
+    const int np = hsg_nps[ni];
     if (384 % np != 0) continue;
-    sim::Simulator sim;
-    core::ApenetParams p;
-    p.p2p_tx_version = core::P2pTxVersion::kV2;
-    p.p2p_prefetch_window = 32 * 1024;
-    auto c = cluster::Cluster::make_cluster_i(sim, np, p, false);
-    apps::hsg::HsgConfig cfg;
-    cfg.L = 384;
-    cfg.steps = 2;
-    cfg.mode = apps::hsg::CommMode::kP2pOn;
-    cfg.functional = false;
-    apps::hsg::HsgRun run(*c, cfg);
-    auto m = run.run();
-    if (np == 1) base = m.ttot_ps;
-    hsg.add_row({strf("%d", np), strf("%.0f", m.ttot_ps),
-                 strf("%.0f", np == 1 ? 0.0 : m.tnet_ps),
-                 strf("%.2fx", base / m.ttot_ps)});
-    bench::JsonSink::global().record("ext_scaleout",
-                                     strf("hsg_speedup/np%d", np),
-                                     base / m.ttot_ps);
+    runner.add(strf("ext/hsg/np%d", np), [&hsg_m, ni, np]()
+                   -> exp::ParallelRunner::Commit {
+      sim::Simulator sim;
+      core::ApenetParams p;
+      p.p2p_tx_version = core::P2pTxVersion::kV2;
+      p.p2p_prefetch_window = 32 * 1024;
+      auto c = cluster::Cluster::make_cluster_i(sim, np, p, false);
+      apps::hsg::HsgConfig cfg;
+      cfg.L = 384;
+      cfg.steps = 2;
+      cfg.mode = apps::hsg::CommMode::kP2pOn;
+      cfg.functional = false;
+      apps::hsg::HsgRun run(*c, cfg);
+      hsg_m[ni] = run.run();
+      // The speedup record needs the np=1 baseline; defer it to the
+      // ordered commit phase, by which point the baseline's work (declared
+      // first) is guaranteed complete.
+      return [&hsg_m, ni, np] {
+        if (hsg_m[0] && hsg_m[ni]) {
+          bench::JsonSink::global().record(
+              "ext_scaleout", strf("hsg_speedup/np%d", np),
+              hsg_m[0]->ttot_ps / hsg_m[ni]->ttot_ps);
+        }
+      };
+    });
   }
-  hsg.print();
 
   // --- BFS strong scaling beyond 8 nodes ----------------------------------
   const int scale = std::min(bench::bfs_scale(), 18);  // keep 24 ranks fast
+  const int bfs_nps[] = {8, 16, 24};
+  std::array<std::optional<apps::bfs::BfsMetrics>, 3> bfs_m;
+  for (std::size_t ni = 0; ni < 3; ++ni) {
+    const int np = bfs_nps[ni];
+    runner.add(strf("ext/bfs/np%d", np), [&bfs_m, ni, np, scale] {
+      sim::Simulator sim;
+      auto c = cluster::Cluster::make_cluster_i(sim, np, core::ApenetParams{},
+                                                false);
+      apps::bfs::BfsConfig cfg;
+      cfg.scale = scale;
+      cfg.edge_factor = 16;
+      apps::bfs::BfsRun run(*c, cfg);
+      auto m = run.run();
+      bfs_m[ni] = m;
+      bench::JsonSink::global().record("ext_scaleout",
+                                       strf("bfs_teps/np%d", np), m.teps);
+    });
+  }
+  runner.run();
+
+  std::printf("\nHSG L=384, P2P=ON, ps per spin update:\n");
+  TextTable hsg({"NP", "Ttot", "Tnet", "speedup"});
+  for (std::size_t ni = 0; ni < 6; ++ni) {
+    const int np = hsg_nps[ni];
+    const auto& m = hsg_m[ni];
+    if (!m) continue;
+    hsg.add_row({strf("%d", np), strf("%.0f", m->ttot_ps),
+                 strf("%.0f", np == 1 ? 0.0 : m->tnet_ps),
+                 hsg_m[0] ? strf("%.2fx", hsg_m[0]->ttot_ps / m->ttot_ps)
+                          : "-"});
+  }
+  hsg.print();
+
   std::printf("\nBFS |V| = 2^%d, TEPS:\n", scale);
   TextTable bfs({"NP", "TEPS", "comm share"});
-  for (int np : {8, 16, 24}) {
-    sim::Simulator sim;
-    auto c = cluster::Cluster::make_cluster_i(sim, np, core::ApenetParams{},
-                                              false);
-    apps::bfs::BfsConfig cfg;
-    cfg.scale = scale;
-    cfg.edge_factor = 16;
-    apps::bfs::BfsRun run(*c, cfg);
-    auto m = run.run();
-    bfs.add_row({strf("%d", np), strf("%.2g", m.teps),
-                 strf("%.0f%%", 100.0 * static_cast<double>(m.comm_time) /
-                                    static_cast<double>(m.wall))});
-    bench::JsonSink::global().record("ext_scaleout",
-                                     strf("bfs_teps/np%d", np), m.teps);
+  for (std::size_t ni = 0; ni < 3; ++ni) {
+    const auto& m = bfs_m[ni];
+    if (!m) continue;
+    bfs.add_row({strf("%d", bfs_nps[ni]), strf("%.2g", m->teps),
+                 strf("%.0f%%", 100.0 * static_cast<double>(m->comm_time) /
+                                    static_cast<double>(m->wall))});
   }
   bfs.print();
   std::printf(

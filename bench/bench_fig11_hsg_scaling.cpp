@@ -3,58 +3,74 @@
 // variants (OFF / RX-only / ON). Speedup is relative to the single-GPU run
 // of the same L; the L=512 single-GPU baseline suffers GPU cache pressure
 // (paper: 1471 vs 921 ps/spin), which produces the super-linear speedup.
+// Every (L, NP, mode) total time is an independent simulation, declared as
+// a runner point; speedups are derived after the sweep completes.
 #include "apps/hsg/runner.hpp"
 #include "bench_common.hpp"
 
-namespace {
-
-double ttot(int L, int np, apn::apps::hsg::CommMode mode) {
-  using namespace apn;
-  // L=128 only fits meaningful slabs up to NP=2 per the paper; we still
-  // run all NP that divide L with local_z >= 2.
-  sim::Simulator sim;
-  core::ApenetParams p;
-  p.torus_link_gbps = 20.0;  // Fig. 11 ran with 20 Gbps links
-  p.p2p_tx_version = core::P2pTxVersion::kV2;
-  p.p2p_prefetch_window = 32 * 1024;
-  auto c = cluster::Cluster::make_cluster_i(sim, np, p, false);
-  apps::hsg::HsgConfig cfg;
-  cfg.L = L;
-  cfg.steps = 2;
-  cfg.mode = mode;
-  cfg.functional = false;
-  apps::hsg::HsgRun run(*c, cfg);
-  return run.run().ttot_ps;
-}
-
-}  // namespace
-
-int main() {
+int main(int argc, char** argv) {
   using namespace apn;
   using apps::hsg::CommMode;
+  bench::Runner runner(argc, argv);
   bench::print_header("FIG 11",
                       "HSG strong-scaling speedup (20 Gbps links)");
 
   const int sides[] = {128, 256, 512};
+  const int nps[] = {1, 2, 4, 8};
   const CommMode modes[] = {CommMode::kP2pOff, CommMode::kP2pRx,
                             CommMode::kP2pOn};
   const char* mode_names[] = {"P2P=OFF", "P2P=RX", "P2P=ON"};
 
-  for (int L : sides) {
-    std::printf("\nSIDE=%d\n", L);
+  // ttot[L][np][mode], filled concurrently (one distinct slot per point).
+  bench::Cell ttot[3][4][3];
+
+  for (std::size_t li = 0; li < 3; ++li) {
+    for (std::size_t ni = 0; ni < 4; ++ni) {
+      for (std::size_t mi = 0; mi < 3; ++mi) {
+        const int L = sides[li];
+        const int np = nps[ni];
+        const CommMode mode = modes[mi];
+        runner.add(strf("fig11/L%d/np%d/%s", L, np, mode_names[mi]),
+                   [&ttot, li, ni, mi, L, np, mode, mode_names] {
+                     sim::Simulator sim;
+                     core::ApenetParams p;
+                     p.torus_link_gbps = 20.0;  // Fig. 11 used 20 Gbps links
+                     p.p2p_tx_version = core::P2pTxVersion::kV2;
+                     p.p2p_prefetch_window = 32 * 1024;
+                     auto c =
+                         cluster::Cluster::make_cluster_i(sim, np, p, false);
+                     apps::hsg::HsgConfig cfg;
+                     cfg.L = L;
+                     cfg.steps = 2;
+                     cfg.mode = mode;
+                     cfg.functional = false;
+                     apps::hsg::HsgRun run(*c, cfg);
+                     double v = run.run().ttot_ps;
+                     ttot[li][ni][mi] = v;
+                     bench::JsonSink::global().record(
+                         "fig11",
+                         strf("ttot/L%d/np%d/%s", L, np, mode_names[mi]), v);
+                   });
+      }
+    }
+  }
+  runner.run();
+
+  for (std::size_t li = 0; li < 3; ++li) {
+    std::printf("\nSIDE=%d\n", sides[li]);
     TextTable t({"NP", "P2P=OFF", "P2P=RX", "P2P=ON"});
-    double base[3] = {0, 0, 0};
-    for (int np : {1, 2, 4, 8}) {
-      std::vector<std::string> row = {strf("%d", np)};
-      for (int m = 0; m < 3; ++m) {
-        double v = ttot(L, np, modes[m]);
-        if (np == 1) base[m] = v;
-        row.push_back(strf("%5.2fx", base[m] / v));
+    for (std::size_t ni = 0; ni < 4; ++ni) {
+      std::vector<std::string> row = {strf("%d", nps[ni])};
+      for (std::size_t mi = 0; mi < 3; ++mi) {
+        const bench::Cell& base = ttot[li][0][mi];
+        const bench::Cell& v = ttot[li][ni][mi];
+        row.push_back(base.filled && v.filled
+                          ? strf("%5.2fx", base.v / v.v)
+                          : "-");
       }
       t.add_row(std::move(row));
     }
     t.print();
-    (void)mode_names;
   }
   std::printf(
       "\nPaper's shape: L=128 only scales to ~2 nodes; L=256 to 4; L=512 "

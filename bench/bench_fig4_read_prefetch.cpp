@@ -1,10 +1,12 @@
 // Reproduces Fig. 4: single-node GPU memory reading bandwidth vs message
 // size, obtained by flushing the TX injection FIFOs (zero-latency switch),
-// for the three GPU_P2P_TX generations and their prefetch windows.
+// for the three GPU_P2P_TX generations and their prefetch windows. Each
+// (config, size) cell is an independent simulation run as a runner point.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace apn;
+  bench::Runner runner(argc, argv);
   bench::print_header("FIG 4",
                       "GPU read bandwidth vs message size (TX FIFOs flushed)");
 
@@ -22,25 +24,43 @@ int main() {
       {"v3 window=64KB", core::P2pTxVersion::kV3, 64 * 1024},
       {"v3 window=128KB", core::P2pTxVersion::kV3, 128 * 1024},
   };
+  constexpr std::size_t kConfigs = std::size(configs);
+
+  const auto sizes = bench::sweep_4K_4MB();
+  std::vector<std::array<bench::Cell, kConfigs>> results(sizes.size());
+
+  for (std::size_t si = 0; si < sizes.size(); ++si) {
+    const std::uint64_t size = sizes[si];
+    for (std::size_t ci = 0; ci < kConfigs; ++ci) {
+      const Config cfg = configs[ci];
+      runner.add(
+          "fig4/" + std::string(cfg.label) + "/" + size_label(size),
+          [&results, si, ci, cfg, size] {
+            sim::Simulator sim;
+            core::ApenetParams p;
+            p.flush_at_switch = true;
+            p.p2p_tx_version = cfg.ver;
+            p.p2p_prefetch_window = cfg.window;
+            auto c = cluster::Cluster::make_cluster_i(sim, 1, p, false);
+            int reps = bench::reps_for(size, 16ull << 20);
+            auto r = cluster::loopback_bandwidth(*c, 0, core::MemType::kGpu,
+                                                 size, reps);
+            results[si][ci] = r.mbps;
+            bench::JsonSink::global().record(
+                "fig4", std::string(cfg.label) + "/" + size_label(size),
+                r.mbps);
+          });
+    }
+  }
+  runner.run();
 
   std::vector<std::string> headers = {"Msg size"};
   for (const auto& cfg : configs) headers.emplace_back(cfg.label);
   TextTable t(headers);
-
-  for (std::uint64_t size : bench::sweep_4K_4MB()) {
-    std::vector<std::string> row = {size_label(size)};
-    for (const auto& cfg : configs) {
-      sim::Simulator sim;
-      core::ApenetParams p;
-      p.flush_at_switch = true;
-      p.p2p_tx_version = cfg.ver;
-      p.p2p_prefetch_window = cfg.window;
-      auto c = cluster::Cluster::make_cluster_i(sim, 1, p, false);
-      int reps = bench::reps_for(size, 16ull << 20);
-      auto r = cluster::loopback_bandwidth(*c, 0, core::MemType::kGpu, size,
-                                           reps);
-      row.push_back(strf("%7.0f", r.mbps));
-    }
+  for (std::size_t si = 0; si < sizes.size(); ++si) {
+    std::vector<std::string> row = {size_label(sizes[si])};
+    for (std::size_t ci = 0; ci < kConfigs; ++ci)
+      row.push_back(results[si][ci].str("%7.0f"));
     t.add_row(std::move(row));
   }
   t.print();

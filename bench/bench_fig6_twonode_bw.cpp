@@ -1,12 +1,14 @@
 // Reproduces Fig. 6: two-node uni-directional bandwidth for the four
 // combinations of source and destination buffer types (H-H, H-G, G-H, G-G)
-// over APEnet+ (PCIe Gen2 x8, 28 Gbps torus link).
+// over APEnet+ (PCIe Gen2 x8, 28 Gbps torus link). Each cell is an
+// independent simulation, declared as a runner point and executed
+// concurrently under --jobs.
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
   using namespace apn;
   using core::MemType;
-  bench::JsonSink::global().init(argc, argv);
+  bench::Runner runner(argc, argv);
   bench::print_header(
       "FIG 6", "Two-node uni-directional bandwidth, buffer-type combos");
 
@@ -21,23 +23,38 @@ int main(int argc, char** argv) {
       {"G-G", MemType::kGpu, MemType::kGpu},
   };
 
-  TextTable t({"Msg size", "H-H", "H-G", "G-H", "G-G"});
-  for (std::uint64_t size : bench::sweep_32B_4MB()) {
-    std::vector<std::string> row = {size_label(size)};
-    for (const auto& combo : combos) {
-      sim::Simulator sim;
-      auto c = cluster::Cluster::make_cluster_i(sim, 2, core::ApenetParams{},
-                                                false);
-      cluster::TwoNodeOptions opt;
-      opt.src_type = combo.src;
-      opt.dst_type = combo.dst;
-      int reps = bench::reps_for(size, 12ull << 20);
-      auto r = cluster::twonode_bandwidth(*c, size, reps, opt);
-      row.push_back(strf("%7.1f", r.mbps));
-      bench::JsonSink::global().record(
-          "fig6", std::string(combo.label) + "/" + size_label(size), r.mbps);
+  const auto sizes = bench::sweep_32B_4MB();
+  std::vector<std::array<bench::Cell, 4>> results(sizes.size());
+
+  for (std::size_t si = 0; si < sizes.size(); ++si) {
+    const std::uint64_t size = sizes[si];
+    for (std::size_t ci = 0; ci < 4; ++ci) {
+      const Combo combo = combos[ci];
+      runner.add(
+          "fig6/" + std::string(combo.label) + "/" + size_label(size),
+          [&results, si, ci, combo, size] {
+            sim::Simulator sim;
+            auto c = cluster::Cluster::make_cluster_i(
+                sim, 2, core::ApenetParams{}, false);
+            cluster::TwoNodeOptions opt;
+            opt.src_type = combo.src;
+            opt.dst_type = combo.dst;
+            int reps = bench::reps_for(size, 12ull << 20);
+            auto r = cluster::twonode_bandwidth(*c, size, reps, opt);
+            results[si][ci] = r.mbps;
+            bench::JsonSink::global().record(
+                "fig6", std::string(combo.label) + "/" + size_label(size),
+                r.mbps);
+          });
     }
-    t.add_row(std::move(row));
+  }
+  runner.run();
+
+  TextTable t({"Msg size", "H-H", "H-G", "G-H", "G-G"});
+  for (std::size_t si = 0; si < sizes.size(); ++si) {
+    t.add_row({size_label(sizes[si]), results[si][0].str("%7.1f"),
+               results[si][1].str("%7.1f"), results[si][2].str("%7.1f"),
+               results[si][3].str("%7.1f")});
   }
   t.print();
   std::printf(

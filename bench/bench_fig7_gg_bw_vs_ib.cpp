@@ -1,48 +1,64 @@
 // Reproduces Fig. 7: two-node GPU-to-GPU bandwidth with three methods —
 // APEnet+ with peer-to-peer (P2P=ON), APEnet+ with staging through host
 // memory (P2P=OFF), and MVAPICH2 over InfiniBand (OSU bandwidth test) as
-// the reference.
+// the reference. Each (method, size) cell is an independent simulation
+// run as a runner point.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace apn;
   using core::MemType;
+  bench::Runner runner(argc, argv);
   bench::print_header("FIG 7",
                       "G-G bandwidth: APEnet+ P2P vs staging vs IB/MVAPICH2");
 
-  TextTable t({"Msg size", "APEnet+ P2P=ON", "APEnet+ P2P=OFF",
-               "IB MVAPICH2"});
-  for (std::uint64_t size : bench::sweep_32B_4MB()) {
-    int reps = bench::reps_for(size, 12ull << 20);
+  const auto sizes = bench::sweep_32B_4MB();
+  std::vector<std::array<bench::Cell, 3>> results(sizes.size());
 
-    double on, off, ib;
-    {
-      sim::Simulator sim;
-      auto c = cluster::Cluster::make_cluster_i(sim, 2, core::ApenetParams{},
-                                                false);
-      cluster::TwoNodeOptions o;
-      o.src_type = MemType::kGpu;
-      o.dst_type = MemType::kGpu;
-      on = cluster::twonode_bandwidth(*c, size, reps, o).mbps;
-    }
-    {
-      sim::Simulator sim;
-      auto c = cluster::Cluster::make_cluster_i(sim, 2, core::ApenetParams{},
-                                                false);
-      cluster::TwoNodeOptions o;
-      o.src_type = MemType::kGpu;
-      o.dst_type = MemType::kGpu;
-      o.staged_tx = o.staged_rx = true;
-      off = cluster::twonode_bandwidth(*c, size, reps, o).mbps;
-    }
-    {
+  auto apenet_bw = [](std::uint64_t size, int reps, bool staged) {
+    sim::Simulator sim;
+    auto c =
+        cluster::Cluster::make_cluster_i(sim, 2, core::ApenetParams{}, false);
+    cluster::TwoNodeOptions o;
+    o.src_type = MemType::kGpu;
+    o.dst_type = MemType::kGpu;
+    o.staged_tx = o.staged_rx = staged;
+    return cluster::twonode_bandwidth(*c, size, reps, o).mbps;
+  };
+
+  for (std::size_t si = 0; si < sizes.size(); ++si) {
+    const std::uint64_t size = sizes[si];
+    const int reps = bench::reps_for(size, 12ull << 20);
+    runner.add("fig7/P2P=ON/" + size_label(size),
+               [&results, si, size, reps, apenet_bw] {
+                 double v = apenet_bw(size, reps, false);
+                 results[si][0] = v;
+                 bench::JsonSink::global().record(
+                     "fig7", "P2P=ON/" + size_label(size), v);
+               });
+    runner.add("fig7/P2P=OFF/" + size_label(size),
+               [&results, si, size, reps, apenet_bw] {
+                 double v = apenet_bw(size, reps, true);
+                 results[si][1] = v;
+                 bench::JsonSink::global().record(
+                     "fig7", "P2P=OFF/" + size_label(size), v);
+               });
+    runner.add("fig7/IB/" + size_label(size), [&results, si, size] {
       sim::Simulator sim;
       auto c = cluster::Cluster::make_cluster_ii(sim, 2);
       int ib_reps = bench::reps_for(size, 6ull << 20);
-      ib = cluster::ib_gg_bandwidth(*c, size, ib_reps).mbps;
-    }
-    t.add_row({size_label(size), strf("%7.1f", on), strf("%7.1f", off),
-               strf("%7.1f", ib)});
+      double v = cluster::ib_gg_bandwidth(*c, size, ib_reps).mbps;
+      results[si][2] = v;
+      bench::JsonSink::global().record("fig7", "IB/" + size_label(size), v);
+    });
+  }
+  runner.run();
+
+  TextTable t({"Msg size", "APEnet+ P2P=ON", "APEnet+ P2P=OFF",
+               "IB MVAPICH2"});
+  for (std::size_t si = 0; si < sizes.size(); ++si) {
+    t.add_row({size_label(sizes[si]), results[si][0].str("%7.1f"),
+               results[si][1].str("%7.1f"), results[si][2].str("%7.1f")});
   }
   t.print();
   std::printf(

@@ -1,11 +1,12 @@
 // Reproduces Fig. 8: APEnet+ latency (half round-trip of a ping-pong) for
-// the four buffer-type combinations, 32 B - 4 KB.
+// the four buffer-type combinations, 32 B - 4 KB. Each cell is an
+// independent simulation run as a runner point.
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
   using namespace apn;
   using core::MemType;
-  bench::JsonSink::global().init(argc, argv);
+  bench::Runner runner(argc, argv);
   bench::print_header("FIG 8", "APEnet+ half-round-trip latency, combos");
 
   struct Combo {
@@ -19,27 +20,41 @@ int main(int argc, char** argv) {
       {"G-G", MemType::kGpu, MemType::kGpu},
   };
 
-  TextTable t({"Msg size", "H-H", "H-G", "G-H", "G-G"});
-  for (std::uint64_t size : bench::sweep_32B(4096)) {
-    std::vector<std::string> row = {size_label(size)};
-    for (const auto& combo : combos) {
-      sim::Simulator sim;
-      auto c = cluster::Cluster::make_cluster_i(sim, 2, core::ApenetParams{},
-                                                false);
-      cluster::TwoNodeOptions opt;
-      opt.src_type = combo.src;
-      opt.dst_type = combo.dst;
-      Time lat = cluster::pingpong_latency(*c, size, 100, opt);
-      row.push_back(strf("%6.2f", units::to_us(lat)));
-      // Paper anchors (Fig. 8): 32 B latency is 6.3 us H-H, 8.2 us G-G.
-      double paper = NAN;
-      if (size == 32 && std::string(combo.label) == "H-H") paper = 6.3;
-      if (size == 32 && std::string(combo.label) == "G-G") paper = 8.2;
-      bench::JsonSink::global().record(
-          "fig8", std::string(combo.label) + "/" + size_label(size),
-          units::to_us(lat), paper);
+  const auto sizes = bench::sweep_32B(4096);
+  std::vector<std::array<bench::Cell, 4>> results(sizes.size());
+
+  for (std::size_t si = 0; si < sizes.size(); ++si) {
+    const std::uint64_t size = sizes[si];
+    for (std::size_t ci = 0; ci < 4; ++ci) {
+      const Combo combo = combos[ci];
+      runner.add(
+          "fig8/" + std::string(combo.label) + "/" + size_label(size),
+          [&results, si, ci, combo, size] {
+            sim::Simulator sim;
+            auto c = cluster::Cluster::make_cluster_i(
+                sim, 2, core::ApenetParams{}, false);
+            cluster::TwoNodeOptions opt;
+            opt.src_type = combo.src;
+            opt.dst_type = combo.dst;
+            Time lat = cluster::pingpong_latency(*c, size, 100, opt);
+            results[si][ci] = units::to_us(lat);
+            // Paper anchors (Fig. 8): 32 B latency, 6.3 us H-H, 8.2 us G-G.
+            double paper = NAN;
+            if (size == 32 && std::string(combo.label) == "H-H") paper = 6.3;
+            if (size == 32 && std::string(combo.label) == "G-G") paper = 8.2;
+            bench::JsonSink::global().record(
+                "fig8", std::string(combo.label) + "/" + size_label(size),
+                units::to_us(lat), paper);
+          });
     }
-    t.add_row(std::move(row));
+  }
+  runner.run();
+
+  TextTable t({"Msg size", "H-H", "H-G", "G-H", "G-G"});
+  for (std::size_t si = 0; si < sizes.size(); ++si) {
+    t.add_row({size_label(sizes[si]), results[si][0].str("%6.2f"),
+               results[si][1].str("%6.2f"), results[si][2].str("%6.2f"),
+               results[si][3].str("%6.2f")});
   }
   t.print();
   std::printf(

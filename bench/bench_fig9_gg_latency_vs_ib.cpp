@@ -1,44 +1,64 @@
 // Reproduces Fig. 9: GPU-to-GPU latency — APEnet+ with P2P, APEnet+ with
 // staging (P2P=OFF), and MVAPICH2/IB (OSU GPU latency test) for reference.
 // Peer-to-peer halves the latency relative to staging because it removes
-// the two synchronous cudaMemcpy calls from the critical path.
+// the two synchronous cudaMemcpy calls from the critical path. Each
+// (method, size) cell is an independent simulation run as a runner point.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace apn;
   using core::MemType;
+  bench::Runner runner(argc, argv);
   bench::print_header("FIG 9", "G-G latency: P2P vs staging vs IB/MVAPICH2");
+
+  const auto sizes = bench::sweep_32B(64 * 1024);
+  std::vector<std::array<bench::Cell, 3>> results(sizes.size());
+
+  auto apenet_lat = [](std::uint64_t size, bool staged) {
+    sim::Simulator sim;
+    auto c =
+        cluster::Cluster::make_cluster_i(sim, 2, core::ApenetParams{}, false);
+    cluster::TwoNodeOptions o;
+    o.src_type = MemType::kGpu;
+    o.dst_type = MemType::kGpu;
+    o.staged_tx = o.staged_rx = staged;
+    return units::to_us(cluster::pingpong_latency(*c, size, 60, o));
+  };
+
+  for (std::size_t si = 0; si < sizes.size(); ++si) {
+    const std::uint64_t size = sizes[si];
+    runner.add("fig9/P2P=ON/" + size_label(size),
+               [&results, si, size, apenet_lat] {
+                 double v = apenet_lat(size, false);
+                 results[si][0] = v;
+                 bench::JsonSink::global().record(
+                     "fig9", "P2P=ON/" + size_label(size), v,
+                     size == 32 ? 8.2 : NAN);
+               });
+    runner.add("fig9/P2P=OFF/" + size_label(size),
+               [&results, si, size, apenet_lat] {
+                 double v = apenet_lat(size, true);
+                 results[si][1] = v;
+                 bench::JsonSink::global().record(
+                     "fig9", "P2P=OFF/" + size_label(size), v,
+                     size == 32 ? 16.8 : NAN);
+               });
+    runner.add("fig9/IB/" + size_label(size), [&results, si, size] {
+      sim::Simulator sim;
+      auto c = cluster::Cluster::make_cluster_ii(sim, 2);
+      double v = units::to_us(cluster::ib_gg_latency(*c, size, 60));
+      results[si][2] = v;
+      bench::JsonSink::global().record("fig9", "IB/" + size_label(size), v,
+                                       size == 32 ? 17.4 : NAN);
+    });
+  }
+  runner.run();
 
   TextTable t({"Msg size", "APEnet+ P2P=ON", "APEnet+ P2P=OFF",
                "IB MVAPICH2"});
-  for (std::uint64_t size : bench::sweep_32B(64 * 1024)) {
-    double on, off, ib;
-    {
-      sim::Simulator sim;
-      auto c = cluster::Cluster::make_cluster_i(sim, 2, core::ApenetParams{},
-                                                false);
-      cluster::TwoNodeOptions o;
-      o.src_type = MemType::kGpu;
-      o.dst_type = MemType::kGpu;
-      on = units::to_us(cluster::pingpong_latency(*c, size, 60, o));
-    }
-    {
-      sim::Simulator sim;
-      auto c = cluster::Cluster::make_cluster_i(sim, 2, core::ApenetParams{},
-                                                false);
-      cluster::TwoNodeOptions o;
-      o.src_type = MemType::kGpu;
-      o.dst_type = MemType::kGpu;
-      o.staged_tx = o.staged_rx = true;
-      off = units::to_us(cluster::pingpong_latency(*c, size, 60, o));
-    }
-    {
-      sim::Simulator sim;
-      auto c = cluster::Cluster::make_cluster_ii(sim, 2);
-      ib = units::to_us(cluster::ib_gg_latency(*c, size, 60));
-    }
-    t.add_row({size_label(size), strf("%6.2f", on), strf("%6.2f", off),
-               strf("%6.2f", ib)});
+  for (std::size_t si = 0; si < sizes.size(); ++si) {
+    t.add_row({size_label(sizes[si]), results[si][0].str("%6.2f"),
+               results[si][1].str("%6.2f"), results[si][2].str("%6.2f")});
   }
   t.print();
   std::printf(

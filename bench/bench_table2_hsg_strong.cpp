@@ -1,15 +1,19 @@
 // Reproduces Table II: Heisenberg spin glass strong scaling on Cluster I,
 // L = 256, GPU peer-to-peer enabled for both RX and TX. Times are
-// picoseconds per single-spin update (lower is better).
+// picoseconds per single-spin update (lower is better). Each NP row is an
+// independent simulation run as a runner point.
+#include <optional>
+
 #include "apps/hsg/runner.hpp"
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace apn;
   using apps::hsg::CommMode;
   using apps::hsg::HsgConfig;
   using apps::hsg::HsgMetrics;
   using apps::hsg::HsgRun;
+  bench::Runner runner(argc, argv);
   bench::print_header("TABLE II",
                       "HSG strong scaling, L=256, P2P=ON (ps per spin)");
 
@@ -24,27 +28,44 @@ int main() {
                             {4, "202", "119", "113"},
                             {8, "148", "148", "141"}};
 
+  std::array<std::optional<HsgMetrics>, 4> results;
+
+  for (std::size_t ri = 0; ri < 4; ++ri) {
+    const int np = paper[ri].np;
+    runner.add(strf("table2/np%d", np), [&results, ri, np] {
+      sim::Simulator sim;
+      core::ApenetParams p;
+      p.torus_link_gbps = 28.0;
+      // The application results predate GPU_P2P_TX v3: use v2 with the
+      // 32 KB prefetch window the card shipped with.
+      p.p2p_tx_version = core::P2pTxVersion::kV2;
+      p.p2p_prefetch_window = 32 * 1024;
+      auto c = cluster::Cluster::make_cluster_i(sim, np, p, false);
+      HsgConfig cfg;
+      cfg.L = 256;
+      cfg.steps = 2;
+      cfg.mode = CommMode::kP2pOn;
+      cfg.functional = false;
+      HsgRun run(*c, cfg);
+      HsgMetrics m = run.run();
+      results[ri] = m;
+      bench::JsonSink::global().record("table2", strf("ttot/np%d", np),
+                                       m.ttot_ps);
+      bench::JsonSink::global().record("table2", strf("tnet/np%d", np),
+                                       np == 1 ? 0.0 : m.tnet_ps);
+    });
+  }
+  runner.run();
+
   TextTable t({"NP", "Ttot (paper)", "Ttot", "Tbnd+Tnet (paper)",
                "Tbnd+Tnet", "Tnet (paper)", "Tnet"});
-  for (const PaperRow& row : paper) {
-    sim::Simulator sim;
-    core::ApenetParams p;
-    p.torus_link_gbps = 28.0;
-    // The application results predate GPU_P2P_TX v3: use v2 with the
-    // 32 KB prefetch window the card shipped with.
-    p.p2p_tx_version = core::P2pTxVersion::kV2;
-    p.p2p_prefetch_window = 32 * 1024;
-    auto c = cluster::Cluster::make_cluster_i(sim, row.np, p, false);
-    HsgConfig cfg;
-    cfg.L = 256;
-    cfg.steps = 2;
-    cfg.mode = CommMode::kP2pOn;
-    cfg.functional = false;
-    HsgRun run(*c, cfg);
-    HsgMetrics m = run.run();
-    t.add_row({strf("%d", row.np), row.ttot, strf("%.0f", m.ttot_ps),
-               row.tbnd_net, strf("%.0f", m.tbnd_net_ps), row.tnet,
-               strf("%.0f", row.np == 1 ? 0.0 : m.tnet_ps)});
+  for (std::size_t ri = 0; ri < 4; ++ri) {
+    const PaperRow& row = paper[ri];
+    const auto& m = results[ri];
+    t.add_row({strf("%d", row.np), row.ttot,
+               m ? strf("%.0f", m->ttot_ps) : "-", row.tbnd_net,
+               m ? strf("%.0f", m->tbnd_net_ps) : "-", row.tnet,
+               m ? strf("%.0f", row.np == 1 ? 0.0 : m->tnet_ps) : "-"});
   }
   t.print();
   std::printf(

@@ -1,6 +1,9 @@
 // Reproduces Table III: HSG two-node break-down, L = 256, for the three
 // P2P usage combinations on APEnet+ plus OpenMPI-over-IB references
 // (Cluster II x8 slot and Cluster I x4 slot). Picoseconds per spin update.
+// Each column is an independent simulation run as a runner point.
+#include <optional>
+
 #include "apps/hsg/runner.hpp"
 #include "bench_common.hpp"
 
@@ -47,9 +50,10 @@ apn::apps::hsg::HsgMetrics run_mode(apn::apps::hsg::CommMode mode,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace apn;
   using apps::hsg::CommMode;
+  bench::Runner runner(argc, argv);
   bench::print_header(
       "TABLE III", "HSG two-node break-down, L=256 (ps per spin update)");
 
@@ -68,14 +72,29 @@ int main() {
       {"OMPI/IB x8 (Cl.II)", CommMode::kIb, false, "416", "108", "101"},
       {"OMPI/IB x4 (Cl.I)", CommMode::kIb, true, "416", "108", "101"},
   };
+  constexpr std::size_t kCols = std::size(cols);
+
+  std::array<std::optional<apps::hsg::HsgMetrics>, kCols> results;
+  for (std::size_t ci = 0; ci < kCols; ++ci) {
+    const Col col = cols[ci];
+    runner.add(std::string("table3/") + col.label, [&results, ci, col] {
+      apps::hsg::HsgMetrics m = run_mode(col.mode, col.x4);
+      results[ci] = m;
+      bench::JsonSink::global().record(
+          "table3", std::string("tnet/") + col.label, m.tnet_ps);
+    });
+  }
+  runner.run();
 
   TextTable t({"Variant", "Ttot (paper)", "Ttot", "Tbnd+Tnet (paper)",
                "Tbnd+Tnet", "Tnet (paper)", "Tnet"});
-  for (const Col& col : cols) {
-    auto m = run_mode(col.mode, col.x4);
-    t.add_row({col.label, col.paper_ttot, strf("%.0f", m.ttot_ps),
-               col.paper_tbnd_net, strf("%.0f", m.tbnd_net_ps),
-               col.paper_tnet, strf("%.0f", m.tnet_ps)});
+  for (std::size_t ci = 0; ci < kCols; ++ci) {
+    const Col& col = cols[ci];
+    const auto& m = results[ci];
+    t.add_row({col.label, col.paper_ttot,
+               m ? strf("%.0f", m->ttot_ps) : "-", col.paper_tbnd_net,
+               m ? strf("%.0f", m->tbnd_net_ps) : "-", col.paper_tnet,
+               m ? strf("%.0f", m->tnet_ps) : "-"});
   }
   t.print();
   std::printf(

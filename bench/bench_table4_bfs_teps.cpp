@@ -1,6 +1,9 @@
 // Reproduces Table IV: distributed BFS strong scaling — traversed edges
 // per second (TEPS) for |V| = 2^20, APEnet+ (P2P=ON) vs InfiniBand/MPI.
-// Set APN_BENCH_SCALE to shrink the graph for quick runs.
+// Set APN_BENCH_SCALE to shrink the graph for quick runs. Each (NP, net)
+// cell is an independent simulation run as a runner point.
+#include <optional>
+
 #include "apps/bfs/bfs.hpp"
 #include "bench_common.hpp"
 
@@ -27,9 +30,11 @@ apn::apps::bfs::BfsMetrics run_bfs(int np, apn::apps::bfs::BfsNet net,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace apn;
+  using apps::bfs::BfsMetrics;
   using apps::bfs::BfsNet;
+  bench::Runner runner(argc, argv);
   const int scale = bench::bfs_scale();
   bench::print_header(
       "TABLE IV",
@@ -46,14 +51,37 @@ int main() {
                             {4, "1.3e8", "8.2e7"},
                             {8, "1.7e8", "2.0e8"}};
 
+  // results[row][0] = APEnet+, results[row][1] = OMPI/IB.
+  std::array<std::array<std::optional<BfsMetrics>, 2>, 4> results;
+  for (std::size_t ri = 0; ri < 4; ++ri) {
+    const int np = paper[ri].np;
+    runner.add(strf("table4/apenet/np%d", np), [&results, ri, np, scale] {
+      BfsMetrics m = run_bfs(np, BfsNet::kApenet, scale);
+      results[ri][0] = m;
+      bench::JsonSink::global().record("table4", strf("apenet_teps/np%d", np),
+                                       m.teps);
+    });
+    runner.add(strf("table4/ib/np%d", np), [&results, ri, np, scale] {
+      BfsMetrics m = run_bfs(np, BfsNet::kIb, scale);
+      results[ri][1] = m;
+      bench::JsonSink::global().record("table4", strf("ib_teps/np%d", np),
+                                       m.teps);
+    });
+  }
+  runner.run();
+
   TextTable t({"NP", "APEnet+ (paper)", "APEnet+ (model)", "OMPI/IB (paper)",
                "OMPI/IB (model)", "validated"});
-  for (const PaperRow& row : paper) {
-    auto apn_m = run_bfs(row.np, BfsNet::kApenet, scale);
-    auto ib_m = run_bfs(row.np, BfsNet::kIb, scale);
-    t.add_row({strf("%d", row.np), row.apenet, strf("%.2g", apn_m.teps),
-               row.ib, strf("%.2g", ib_m.teps),
-               apn_m.validated && ib_m.validated ? "yes" : "NO"});
+  for (std::size_t ri = 0; ri < 4; ++ri) {
+    const PaperRow& row = paper[ri];
+    const auto& apn_m = results[ri][0];
+    const auto& ib_m = results[ri][1];
+    std::string validated = "-";
+    if (apn_m && ib_m)
+      validated = apn_m->validated && ib_m->validated ? "yes" : "NO";
+    t.add_row({strf("%d", row.np), row.apenet,
+               apn_m ? strf("%.2g", apn_m->teps) : "-", row.ib,
+               ib_m ? strf("%.2g", ib_m->teps) : "-", validated});
   }
   t.print();
   std::printf(

@@ -1,0 +1,30 @@
+// Page-aligned host staging buffer for the application runners.
+//
+// The card's V2P scatter behaviour (and the staged-copy timing derived
+// from it) depends on how a host buffer straddles 4 KB pages, so a plain
+// std::vector — whose placement varies run to run under ASLR — makes
+// staged measurements non-reproducible. Mirrors the page-aligned `Buf`
+// the cluster harness uses for the microbenchmarks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace apn::apps {
+
+class HostBuf {
+ public:
+  void resize(std::size_t n) {
+    raw_.assign(n + 4096, 0);
+    auto p = reinterpret_cast<std::uint64_t>(raw_.data());
+    data_ = reinterpret_cast<std::uint8_t*>((p + 4095) & ~4095ull);
+  }
+  std::uint8_t* data() { return data_; }
+  const std::uint8_t* data() const { return data_; }
+
+ private:
+  std::vector<std::uint8_t> raw_;
+  std::uint8_t* data_ = nullptr;
+};
+
+}  // namespace apn::apps

@@ -1,6 +1,8 @@
 #include "apps/hsg/runner.hpp"
 
 #include <algorithm>
+
+#include "apps/hsg/host_buf.hpp"
 #include <cstring>
 #include <stdexcept>
 
@@ -16,9 +18,10 @@ struct HsgRun::RankState {
   // Device halo buffers (one per direction).
   cuda::DevPtr send_dev[2] = {0, 0};
   cuda::DevPtr recv_dev[2] = {0, 0};
-  // Host bounces (staging modes).
-  std::vector<std::uint8_t> send_host[2];
-  std::vector<std::uint8_t> recv_host[2];
+  // Host bounces (staging modes); page-aligned so staged timing is
+  // reproducible under ASLR.
+  HostBuf send_host[2];
+  HostBuf recv_host[2];
   std::vector<std::uint8_t> pack_buf[2];
 
   Time t_start = 0;

@@ -1,6 +1,8 @@
 #include "apps/hsg/runner2d.hpp"
 
 #include <algorithm>
+
+#include "apps/hsg/host_buf.hpp"
 #include <cmath>
 #include <stdexcept>
 
@@ -23,8 +25,9 @@ struct Hsg2dRun::RankState {
   std::unique_ptr<Slab2d> slab;
   cuda::DevPtr send_dev[kFaces] = {0, 0, 0, 0};
   cuda::DevPtr recv_dev[kFaces] = {0, 0, 0, 0};
-  std::vector<std::uint8_t> send_host[kFaces];
-  std::vector<std::uint8_t> recv_host[kFaces];
+  // Page-aligned so staged timing is reproducible under ASLR.
+  HostBuf send_host[kFaces];
+  HostBuf recv_host[kFaces];
   std::vector<std::uint8_t> pack_buf[kFaces];
 
   Time t_start = 0, t_end = 0;

@@ -75,9 +75,27 @@ std::string MetricsRegistry::json() const {
   return out;
 }
 
-MetricsRegistry& MetricsRegistry::global() {
-  static MetricsRegistry r;
-  return r;
+namespace {
+
+MetricsRegistry*& current_ptr() {
+  thread_local MetricsRegistry* p = nullptr;
+  return p;
 }
+
+}  // namespace
+
+MetricsRegistry& MetricsRegistry::current() {
+  if (current_ptr() == nullptr) {
+    thread_local MetricsRegistry thread_default;
+    current_ptr() = &thread_default;
+  }
+  return *current_ptr();
+}
+
+MetricsScope::MetricsScope() : prev_(current_ptr()) {
+  current_ptr() = &mine_;
+}
+
+MetricsScope::~MetricsScope() { current_ptr() = prev_; }
 
 }  // namespace apn::trace

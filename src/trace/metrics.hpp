@@ -3,11 +3,18 @@
 //
 // Histograms reuse the `common/stats.hpp` accumulators: OnlineStats for
 // streaming mean/stddev plus a Samples store for percentiles. Components
-// cache a pointer to their metric once (`MetricsRegistry::global()` lookup
-// at construction) so the per-event cost is one increment — cheap enough
-// to stay on unconditionally. The registry aggregates across every
-// simulator built in the process; call `clear()` between runs for
-// per-run numbers.
+// cache a pointer to their metric once (`MetricsRegistry::current()`
+// lookup at construction) so the per-event cost is one increment — cheap
+// enough to stay on unconditionally.
+//
+// Scoping: the "current" registry is thread-local, so the parallel
+// experiment runner (src/exp) can give every concurrently-executing
+// simulation its own registry via `MetricsScope` without the component
+// instrumentation changing. On a thread with no scope installed (every
+// sequential binary), the current registry is a thread-lifetime default
+// that aggregates across every simulator built on that thread — the old
+// process-global behavior; call `clear()` between runs for per-run
+// numbers.
 #pragma once
 
 #include <cstdint>
@@ -75,13 +82,36 @@ class MetricsRegistry {
   /// JSON dump: {"counters":{...},"gauges":{...},"histograms":{...}}.
   std::string json() const;
 
-  /// Process-wide registry used by the built-in instrumentation.
-  static MetricsRegistry& global();
+  /// Registry the built-in instrumentation records into on this thread:
+  /// the innermost MetricsScope, or a thread-lifetime default.
+  static MetricsRegistry& current();
+  /// Historical name for current(), kept for callers that predate the
+  /// parallel runner.
+  static MetricsRegistry& global() { return current(); }
 
  private:
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, Histogram> histograms_;
+};
+
+/// RAII: make a fresh registry this thread's `current()` for one scope —
+/// one simulation, in the parallel runner's case. Component-cached metric
+/// pointers stay valid for the scope's lifetime (components are
+/// constructed and used inside it). Restores the previous registry on
+/// exit; read per-simulation results through `registry()` before then.
+class MetricsScope {
+ public:
+  MetricsScope();
+  ~MetricsScope();
+  MetricsScope(const MetricsScope&) = delete;
+  MetricsScope& operator=(const MetricsScope&) = delete;
+
+  MetricsRegistry& registry() { return mine_; }
+
+ private:
+  MetricsRegistry mine_;
+  MetricsRegistry* prev_;
 };
 
 }  // namespace apn::trace

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <mutex>
 
 namespace apn::trace {
 
@@ -255,8 +256,14 @@ void dump_env_sink() {
 TraceSink* init_from_env() {
   if (sink() != nullptr) return sink();
   if (!env_enabled()) return nullptr;
-  env_sink() = std::make_unique<TraceSink>();
-  std::atexit(dump_env_sink);
+  // Creation is once-guarded so concurrent cluster construction (threads
+  // running outside the runner's per-point SinkScope) cannot double-create
+  // the env sink; installation stays per-thread.
+  static std::once_flag once;
+  std::call_once(once, [] {
+    env_sink() = std::make_unique<TraceSink>();
+    std::atexit(dump_env_sink);
+  });
   set_sink(env_sink().get());
   return sink();
 }

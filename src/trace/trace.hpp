@@ -125,31 +125,51 @@ class TraceSink {
   std::map<std::string, int> pids_;
 };
 
-// ---- process-wide sink ------------------------------------------------------
-// The simulation is single-threaded; a plain global is sufficient and keeps
-// the disabled fast path to one load+branch.
+// ---- thread-scoped sink -----------------------------------------------------
+// Each simulation is single-threaded, but the parallel experiment runner
+// (src/exp) drives many simulations on concurrent worker threads. The
+// installed sink is therefore thread-local: one simulation's events can
+// never land in another's sink, and the disabled fast path stays one
+// load+branch. Sequential binaries see the old process-global behavior
+// (everything happens on the main thread).
 
 namespace detail {
 inline TraceSink*& sink_ref() {
-  static TraceSink* s = nullptr;
+  thread_local TraceSink* s = nullptr;
   return s;
 }
 }  // namespace detail
 
-/// Currently installed sink, or nullptr when tracing is disabled.
+/// Sink installed on this thread, or nullptr when tracing is disabled.
 inline TraceSink* sink() { return detail::sink_ref(); }
 inline void set_sink(TraceSink* s) { detail::sink_ref() = s; }
-/// True when a sink is installed (tracing enabled).
+/// True when a sink is installed on this thread (tracing enabled).
 inline bool on() { return sink() != nullptr; }
+
+/// RAII: install `s` as this thread's sink for one scope (one simulation,
+/// in the parallel runner's case), restoring the previous sink on exit.
+class SinkScope {
+ public:
+  explicit SinkScope(TraceSink* s) : prev_(sink()) { set_sink(s); }
+  ~SinkScope() { set_sink(prev_); }
+  SinkScope(const SinkScope&) = delete;
+  SinkScope& operator=(const SinkScope&) = delete;
+
+ private:
+  TraceSink* prev_;
+};
 
 /// True when the APN_TRACE environment variable is set to anything but "0".
 bool env_enabled();
 
-/// If APN_TRACE is set and no sink is installed yet, install a
-/// process-lifetime sink that writes $APN_TRACE_OUT (default
+/// If APN_TRACE is set and no sink is installed on this thread yet,
+/// install a process-lifetime sink that writes $APN_TRACE_OUT (default
 /// "apn_trace.json") at process exit. Returns the active sink (or nullptr
 /// when tracing stays disabled). Called by cluster::Cluster's constructor
 /// so every bench/test/example honors APN_TRACE with no code changes.
+/// Under the parallel runner each point already has a per-point sink in
+/// scope, so this is a no-op there; the shared env sink is only ever fed
+/// by one thread at a time (see docs/OBSERVABILITY.md).
 TraceSink* init_from_env();
 
 /// Lightweight per-component handle: a (sink, track id) pair that is inert
