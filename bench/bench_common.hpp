@@ -14,6 +14,9 @@
 //   --filter=<substr>  run only points whose name contains the substring
 //   --list             print point names (one per line) and exit
 //   --json=<path>      NDJSON record per measured point (APN_BENCH_JSON)
+//   --check            enable the same-tick race detector (like APN_CHECK=1)
+//   --state-hash-out=F write per-event rolling state hashes to F; diffing
+//                      two runs' files pinpoints the first divergent event
 #pragma once
 
 #include <array>
@@ -27,6 +30,7 @@
 #include <utility>
 #include <vector>
 
+#include "check/check.hpp"
 #include "cluster/cluster.hpp"
 #include "cluster/harness.hpp"
 #include "common/table.hpp"
@@ -178,6 +182,27 @@ class Runner {
   Runner(int argc, char** argv)
       : inner_(exp::RunnerOptions::from_args(argc, argv)) {
     JsonSink::global().init(argc, argv);
+    init_check_flags(argc, argv);
+  }
+
+  /// Parse --check / --state-hash-out=<path> (shared with bus_analyzer).
+  /// Either flag arms the race detector for every Simulator built after
+  /// this call (cluster::Cluster installs a check::Session from it).
+  static void init_check_flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--check") == 0) {
+        check::Session::force_enable(true);
+      } else if (std::strncmp(argv[i], "--state-hash-out=", 17) == 0) {
+        const char* path = argv[i] + 17;
+        if (*path == '\0') {
+          std::fprintf(stderr,
+                       "error: --state-hash-out= requires a path\n");
+          std::exit(2);
+        }
+        check::Session::force_enable(true);
+        check::HashSink::global().open(path);
+      }
+    }
   }
 
   /// Declare one measurement point. `work` runs concurrently and must own
@@ -205,21 +230,33 @@ class Runner {
 
  private:
   void add_point(std::string name, exp::ParallelRunner::Work work) {
-    inner_.add(std::move(name), [work = std::move(work)]() {
+    std::string point = name;
+    inner_.add(std::move(name),
+               [work = std::move(work), point = std::move(point)]() {
       JsonSink& js = JsonSink::global();
+      check::HashSink& hs = check::HashSink::global();
       std::string buffered;
+      std::string hash_buffered;
       js.set_thread_buffer(&buffered);
+      if (hs.enabled()) {
+        hs.set_thread_buffer(&hash_buffered);
+        hs.note("point " + point);
+      }
       exp::ParallelRunner::Commit commit;
       try {
         commit = work();
       } catch (...) {
         js.set_thread_buffer(nullptr);
+        hs.set_thread_buffer(nullptr);
         throw;
       }
       js.set_thread_buffer(nullptr);
+      hs.set_thread_buffer(nullptr);
       return exp::ParallelRunner::Commit(
-          [commit = std::move(commit), buffered = std::move(buffered)]() {
+          [commit = std::move(commit), buffered = std::move(buffered),
+           hash_buffered = std::move(hash_buffered)]() {
             JsonSink::global().write_raw(buffered);
+            check::HashSink::global().write_raw(hash_buffered);
             if (commit) commit();
           });
     });

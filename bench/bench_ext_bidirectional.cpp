@@ -2,7 +2,9 @@
 // uni-directional bandwidth and remarks that "the APEnet+ bi-directional
 // bandwidth, which is not reported here, will reflect a similar behaviour"
 // (because the Nios II serves the RX task for both directions). This bench
-// quantifies that claim: each node simultaneously sends and receives.
+// quantifies that claim: each node simultaneously sends and receives. Each
+// cell is an independent simulation, declared as a runner point and
+// executed concurrently under --jobs.
 #include "bench_common.hpp"
 
 namespace {
@@ -65,22 +67,52 @@ double bidir_bw(core::MemType type, std::uint64_t size, int count) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace apn;
+  bench::Runner runner(argc, argv);
   bench::print_header("EXTENSION",
                       "Two-node bidirectional bandwidth (not in the paper)");
+
+  const std::uint64_t sizes[] = {32768ull, 131072ull, 1ull << 20, 4ull << 20};
+  constexpr std::size_t kSizes = sizeof(sizes) / sizeof(sizes[0]);
+  std::array<bench::Cell, 3> results[kSizes];
+
+  for (std::size_t si = 0; si < kSizes; ++si) {
+    const std::uint64_t size = sizes[si];
+    const int reps = bench::reps_for(size, 12ull << 20);
+    runner.add("ext_bidir/uni_x2/" + size_label(size), [&results, si, size,
+                                                        reps] {
+      sim::Simulator s;
+      auto c = cluster::Cluster::make_cluster_i(s, 2, core::ApenetParams{},
+                                                false);
+      double uni = cluster::twonode_bandwidth(*c, size, reps,
+                                              cluster::TwoNodeOptions{})
+                       .mbps;
+      results[si][0] = 2 * uni;
+      bench::JsonSink::global().record("ext_bidir",
+                                       "uni_x2/" + size_label(size), 2 * uni);
+    });
+    runner.add("ext_bidir/hh/" + size_label(size), [&results, si, size,
+                                                    reps] {
+      double bw = bidir_bw(core::MemType::kHost, size, reps);
+      results[si][1] = bw;
+      bench::JsonSink::global().record("ext_bidir", "hh/" + size_label(size),
+                                       bw);
+    });
+    runner.add("ext_bidir/gg/" + size_label(size), [&results, si, size,
+                                                    reps] {
+      double bw = bidir_bw(core::MemType::kGpu, size, reps);
+      results[si][2] = bw;
+      bench::JsonSink::global().record("ext_bidir", "gg/" + size_label(size),
+                                       bw);
+    });
+  }
+  runner.run();
+
   TextTable t({"Msg size", "H-H uni x2 (ideal)", "H-H bidir", "G-G bidir"});
-  for (std::uint64_t size : {32768ull, 131072ull, 1ull << 20, 4ull << 20}) {
-    int reps = bench::reps_for(size, 12ull << 20);
-    sim::Simulator s;
-    auto c = cluster::Cluster::make_cluster_i(s, 2, core::ApenetParams{},
-                                              false);
-    double uni =
-        cluster::twonode_bandwidth(*c, size, reps, cluster::TwoNodeOptions{})
-            .mbps;
-    t.add_row({size_label(size), strf("%.0f", 2 * uni),
-               strf("%.0f", bidir_bw(core::MemType::kHost, size, reps)),
-               strf("%.0f", bidir_bw(core::MemType::kGpu, size, reps))});
+  for (std::size_t si = 0; si < kSizes; ++si) {
+    t.add_row({size_label(sizes[si]), results[si][0].str("%.0f"),
+               results[si][1].str("%.0f"), results[si][2].str("%.0f")});
   }
   t.print();
   std::printf(

@@ -1,44 +1,61 @@
 // Reproduces Fig. 10: host overhead (the LogP `o` parameter) estimated
 // from the sender-side run time per message of a windowed bandwidth test,
-// for H-H, G-G P2P=ON, and G-G P2P=OFF.
+// for H-H, G-G P2P=ON, and G-G P2P=OFF. Each cell is an independent
+// simulation, declared as a runner point and executed concurrently under
+// --jobs.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace apn;
   using core::MemType;
+  bench::Runner runner(argc, argv);
   bench::print_header("FIG 10", "Host overhead (LogP o) vs message size");
 
+  struct Combo {
+    const char* label;
+    bool gpu;
+    bool staged;
+  };
+  const Combo combos[] = {
+      {"H-H", false, false},
+      {"G-G-p2p-on", true, false},
+      {"G-G-p2p-off", true, true},
+  };
+
+  const auto sizes = bench::sweep_32B(4096);
+  std::vector<std::array<bench::Cell, 3>> results(sizes.size());
+
+  for (std::size_t si = 0; si < sizes.size(); ++si) {
+    const std::uint64_t size = sizes[si];
+    for (std::size_t ci = 0; ci < 3; ++ci) {
+      const Combo combo = combos[ci];
+      runner.add("fig10/" + std::string(combo.label) + "/" +
+                     size_label(size),
+                 [&results, si, ci, combo, size] {
+                   sim::Simulator sim;
+                   auto c = cluster::Cluster::make_cluster_i(
+                       sim, 2, core::ApenetParams{}, false);
+                   cluster::TwoNodeOptions o;
+                   if (combo.gpu) {
+                     o.src_type = MemType::kGpu;
+                     o.dst_type = MemType::kGpu;
+                   }
+                   o.staged_tx = combo.staged;
+                   double us = units::to_us(
+                       cluster::host_overhead(*c, size, 64, o));
+                   results[si][ci] = us;
+                   bench::JsonSink::global().record(
+                       "fig10",
+                       std::string(combo.label) + "/" + size_label(size), us);
+                 });
+    }
+  }
+  runner.run();
+
   TextTable t({"Msg size", "H-H APEnet+", "G-G P2P=ON", "G-G P2P=OFF"});
-  for (std::uint64_t size : bench::sweep_32B(4096)) {
-    double hh, gg_on, gg_off;
-    {
-      sim::Simulator sim;
-      auto c = cluster::Cluster::make_cluster_i(sim, 2, core::ApenetParams{},
-                                                false);
-      hh = units::to_us(
-          cluster::host_overhead(*c, size, 64, cluster::TwoNodeOptions{}));
-    }
-    {
-      sim::Simulator sim;
-      auto c = cluster::Cluster::make_cluster_i(sim, 2, core::ApenetParams{},
-                                                false);
-      cluster::TwoNodeOptions o;
-      o.src_type = MemType::kGpu;
-      o.dst_type = MemType::kGpu;
-      gg_on = units::to_us(cluster::host_overhead(*c, size, 64, o));
-    }
-    {
-      sim::Simulator sim;
-      auto c = cluster::Cluster::make_cluster_i(sim, 2, core::ApenetParams{},
-                                                false);
-      cluster::TwoNodeOptions o;
-      o.src_type = MemType::kGpu;
-      o.dst_type = MemType::kGpu;
-      o.staged_tx = true;
-      gg_off = units::to_us(cluster::host_overhead(*c, size, 64, o));
-    }
-    t.add_row({size_label(size), strf("%6.2f", hh), strf("%6.2f", gg_on),
-               strf("%6.2f", gg_off)});
+  for (std::size_t si = 0; si < sizes.size(); ++si) {
+    t.add_row({size_label(sizes[si]), results[si][0].str("%6.2f"),
+               results[si][1].str("%6.2f"), results[si][2].str("%6.2f")});
   }
   t.print();
   std::printf(

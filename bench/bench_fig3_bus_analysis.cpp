@@ -8,98 +8,116 @@
 //   2 -> 3 : 1.8 us  GPU head reading latency (request -> first data)
 //   3 -> 4 : 663 us  data streaming for 1 MB (1536 MB/s, 53% link util.)
 //   protocol traffic: ~96 MB/s of read requests toward the GPU
+//
+// A single simulation, but still declared on bench::Runner so the shared
+// flags (--filter/--list/--json/--check/--state-hash-out=) work uniformly
+// across all bench binaries.
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
   using namespace apn;
-  bench::JsonSink::global().init(argc, argv);
+  bench::Runner runner(argc, argv);
   bench::print_header(
       "FIG 3", "PCIe timings of peer-to-peer transactions (bus analyzer)");
 
-  sim::Simulator sim;
-  core::ApenetParams p;
-  p.flush_at_switch = true;  // successive transmissions; TX-side analysis
-  p.p2p_tx_version = core::P2pTxVersion::kV2;
-  p.p2p_prefetch_window = 32 * 1024;
-  auto c = cluster::Cluster::make_cluster_i(sim, 1, p, false);
-  cluster::Node& n = c->node(0);
+  struct Measured {
+    double tx_overhead_us = 0, head_latency_us = 0, stream_us_per_mb = 0;
+    double data_rate = 0, proto_rate = 0;
+    std::uint64_t req_count = 0;
+    bool filled = false;
+  };
+  Measured m;
 
-  // Interposers on the APEnet+ slot and on the GPU slot.
-  pcie::BusAnalyzer on_card, on_gpu;
-  n.fabric().attach_analyzer(n.card_pcie_node(), on_card);
-  n.fabric().attach_analyzer(n.gpu_pcie_node(0), on_gpu);
+  runner.add("fig3/bus_analysis", [&m] {
+    sim::Simulator sim;
+    core::ApenetParams p;
+    p.flush_at_switch = true;  // successive transmissions; TX-side analysis
+    p.p2p_tx_version = core::P2pTxVersion::kV2;
+    p.p2p_prefetch_window = 32 * 1024;
+    auto c = cluster::Cluster::make_cluster_i(sim, 1, p, false);
+    cluster::Node& n = c->node(0);
 
-  const std::uint64_t kMsg = 4ull << 20;
-  auto t_submit = std::make_shared<Time>(0);
-  [](cluster::Cluster* c, std::uint64_t msg,
-     std::shared_ptr<Time> t_submit) -> sim::Coro {
-    core::RdmaDevice& rdma = c->rdma(0);
-    cuda::DevPtr src = c->node(0).cuda().malloc_device(0, msg);
-    co_await rdma.register_buffer(src, msg, core::MemType::kGpu);
-    *t_submit = c->simulator().now();
-    auto put = rdma.put(c->coord(0), src, msg, 0x10000, core::MemType::kGpu,
-                        false);
-    co_await put.tx_done->wait();
-  }(c.get(), kMsg, t_submit);
-  sim.run();
+    // Interposers on the APEnet+ slot and on the GPU slot.
+    pcie::BusAnalyzer on_card, on_gpu;
+    n.fabric().attach_analyzer(n.card_pcie_node(), on_card);
+    n.fabric().attach_analyzer(n.gpu_pcie_node(0), on_gpu);
 
-  // Sift the traces: requests are writes to the GPU mailbox (downstream on
-  // the GPU edge), data are writes into the card's landing zone.
-  Time first_req = -1, last_req = -1, first_resp = -1;
-  std::uint64_t req_count = 0, req_bytes = 0;
-  for (const auto& ev : on_gpu.events()) {
-    if (ev.kind != pcie::BusEvent::Kind::kWrite) continue;
-    if (ev.downstream) {
-      if (first_req < 0) first_req = ev.time;
-      last_req = ev.time;
-      ++req_count;
-      req_bytes += ev.bytes;
-    } else if (first_resp < 0) {
-      first_resp = ev.time;  // first data leaving the GPU
+    const std::uint64_t kMsg = 4ull << 20;
+    auto t_submit = std::make_shared<Time>(0);
+    [](cluster::Cluster* c, std::uint64_t msg,
+       std::shared_ptr<Time> t_submit) -> sim::Coro {
+      core::RdmaDevice& rdma = c->rdma(0);
+      cuda::DevPtr src = c->node(0).cuda().malloc_device(0, msg);
+      co_await rdma.register_buffer(src, msg, core::MemType::kGpu);
+      *t_submit = c->simulator().now();
+      auto put = rdma.put(c->coord(0), src, msg, 0x10000,
+                          core::MemType::kGpu, false);
+      co_await put.tx_done->wait();
+    }(c.get(), kMsg, t_submit);
+    sim.run();
+
+    // Sift the traces: requests are writes to the GPU mailbox (downstream
+    // on the GPU edge), data are writes into the card's landing zone.
+    Time first_req = -1, last_req = -1, first_resp = -1;
+    std::uint64_t req_count = 0;
+    for (const auto& ev : on_gpu.events()) {
+      if (ev.kind != pcie::BusEvent::Kind::kWrite) continue;
+      if (ev.downstream) {
+        if (first_req < 0) first_req = ev.time;
+        last_req = ev.time;
+        ++req_count;
+      } else if (first_resp < 0) {
+        first_resp = ev.time;  // first data leaving the GPU
+      }
     }
-  }
-  Time first_data = -1, last_data = -1;
-  std::uint64_t data_bytes = 0;
-  for (const auto& ev : on_card.events()) {
-    if (ev.kind == pcie::BusEvent::Kind::kWrite && ev.downstream) {
-      if (first_data < 0) first_data = ev.time;
-      last_data = ev.time;
-      data_bytes += ev.bytes;
+    Time first_data = -1, last_data = -1;
+    std::uint64_t data_bytes = 0;
+    for (const auto& ev : on_card.events()) {
+      if (ev.kind == pcie::BusEvent::Kind::kWrite && ev.downstream) {
+        if (first_data < 0) first_data = ev.time;
+        last_data = ev.time;
+        data_bytes += ev.bytes;
+      }
     }
-  }
 
-  double stream_us_per_mb =
-      units::to_us(last_data - first_data) * (1048576.0 / double(data_bytes));
-  double data_rate = units::bandwidth_MBps(data_bytes, last_data - first_data);
-  double proto_rate = units::bandwidth_MBps(
-      req_count * 32 /* descriptor bytes on the wire */, last_req - first_req);
+    m.tx_overhead_us = units::to_us(first_req - *t_submit);
+    m.head_latency_us = units::to_us(first_resp - first_req);
+    m.stream_us_per_mb = units::to_us(last_data - first_data) *
+                         (1048576.0 / double(data_bytes));
+    m.data_rate = units::bandwidth_MBps(data_bytes, last_data - first_data);
+    m.proto_rate = units::bandwidth_MBps(
+        req_count * 32 /* descriptor bytes on the wire */,
+        last_req - first_req);
+    m.req_count = req_count;
+    m.filled = true;
+
+    auto& json = bench::JsonSink::global();
+    json.record("fig3", "tx_overhead_us", m.tx_overhead_us, 3.0);
+    json.record("fig3", "gpu_head_latency_us", m.head_latency_us, 1.8);
+    json.record("fig3", "stream_us_per_mb", m.stream_us_per_mb, 663.0);
+    json.record("fig3", "data_throughput_mbps", m.data_rate, 1536.0);
+    json.record("fig3", "protocol_traffic_mbps", m.proto_rate, 96.0);
+  });
+  runner.run();
+  if (!m.filled) return 0;  // filtered out
 
   TextTable t({"Transaction", "Paper", "Model"});
   t.add_row({"1->2 TX overhead (submit -> first read request)", "~3 us",
-             strf("%.2f us", units::to_us(first_req - *t_submit))});
+             strf("%.2f us", m.tx_overhead_us)});
   t.add_row({"2->3 GPU head reading latency", "1.8 us",
-             strf("%.2f us", units::to_us(first_resp - first_req))});
+             strf("%.2f us", m.head_latency_us)});
   t.add_row({"3->4 stream time per 1 MB", "663 us",
-             strf("%.0f us", stream_us_per_mb)});
-  t.add_row({"data throughput", "1536 MB/s", strf("%.0f MB/s", data_rate)});
+             strf("%.0f us", m.stream_us_per_mb)});
+  t.add_row({"data throughput", "1536 MB/s", strf("%.0f MB/s", m.data_rate)});
   t.add_row({"read-request protocol traffic", "96 MB/s",
-             strf("%.0f MB/s", proto_rate)});
+             strf("%.0f MB/s", m.proto_rate)});
   t.add_row({"read requests emitted", "-",
-             strf("%llu x %u B granules", (unsigned long long)req_count,
+             strf("%llu x %u B granules", (unsigned long long)m.req_count,
                   32u)});
   t.print();
-
-  auto& json = bench::JsonSink::global();
-  json.record("fig3", "tx_overhead_us", units::to_us(first_req - *t_submit),
-              3.0);
-  json.record("fig3", "gpu_head_latency_us",
-              units::to_us(first_resp - first_req), 1.8);
-  json.record("fig3", "stream_us_per_mb", stream_us_per_mb, 663.0);
-  json.record("fig3", "data_throughput_mbps", data_rate, 1536.0);
-  json.record("fig3", "protocol_traffic_mbps", proto_rate, 96.0);
   std::printf(
       "\nData stream occupies %.0f%% of the 2.9 GB/s effective x8 Gen2 link "
       "(paper: 53%% of the raw link).\n",
-      data_rate / 2900.0 * 100.0);
+      m.data_rate / 2900.0 * 100.0);
   return 0;
 }

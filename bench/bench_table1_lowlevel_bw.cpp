@@ -1,12 +1,13 @@
 // Reproduces Table I: APEnet+ low-level bandwidths from single-board
 // loop-back tests. Memory-read rows flush packets at the internal switch;
-// loop-back rows include the full RX processing on the Nios II.
+// loop-back rows include the full RX processing on the Nios II. Each row
+// is an independent simulation, declared as a runner point and executed
+// concurrently under --jobs.
 #include "bench_common.hpp"
 
 namespace apn {
 namespace {
 
-using bench::print_header;
 using cluster::Cluster;
 using core::ApenetParams;
 using core::MemType;
@@ -49,33 +50,71 @@ double bar1_read_bw(const gpu::GpuArch& arch) {
 }  // namespace
 }  // namespace apn
 
-int main() {
+int main(int argc, char** argv) {
   using namespace apn;
+  bench::Runner runner(argc, argv);
   bench::print_header("TABLE I", "APEnet+ low-level loop-back bandwidths");
 
-  gpu::GpuArch fermi = gpu::fermi_c2050();
-  gpu::GpuArch kepler = gpu::kepler_k20();
+  struct Row {
+    const char* point;       // runner point name
+    const char* test;        // table columns
+    const char* method;
+    const char* paper;
+    const char* nios;
+    bool gbps;               // print as GB/s (vs MB/s)
+    double (*measure)();
+  };
+  static const Row rows[] = {
+      {"host_read", "Host mem read", "-", "2.4 GB/s", "none", true,
+       [] { return read_bw(nullptr, MemType::kHost, true); }},
+      {"fermi_p2p_read", "GPU mem read", "Fermi/P2P", "1.5 GB/s",
+       "GPU_P2P_TX", true,
+       [] {
+         gpu::GpuArch fermi = gpu::fermi_c2050();
+         return read_bw(&fermi, MemType::kGpu, true);
+       }},
+      {"fermi_bar1_read", "GPU mem read", "Fermi/BAR1", "150 MB/s",
+       "TX DMA (BAR1)", false,
+       [] { return bar1_read_bw(gpu::fermi_c2050()); }},
+      {"kepler_p2p_read", "GPU mem read", "Kepler/P2P", "1.6 GB/s",
+       "GPU_P2P_TX", true,
+       [] {
+         gpu::GpuArch kepler = gpu::kepler_k20();
+         return read_bw(&kepler, MemType::kGpu, true);
+       }},
+      {"kepler_bar1_read", "GPU mem read", "Kepler/BAR1", "1.6 GB/s",
+       "TX DMA (BAR1)", true,
+       [] { return bar1_read_bw(gpu::kepler_k20()); }},
+      {"fermi_gg_loopback", "GPU-to-GPU loop-back", "Fermi/P2P", "1.1 GB/s",
+       "GPU_P2P_TX + RX", true,
+       [] {
+         gpu::GpuArch fermi = gpu::fermi_c2050();
+         return read_bw(&fermi, MemType::kGpu, false);
+       }},
+      {"hh_loopback", "Host-to-Host loop-back", "-", "1.2 GB/s", "RX", true,
+       [] { return read_bw(nullptr, MemType::kHost, false); }},
+  };
+  constexpr std::size_t kRows = sizeof(rows) / sizeof(rows[0]);
+
+  bench::Cell results[kRows];
+  for (std::size_t i = 0; i < kRows; ++i) {
+    runner.add(std::string("table1/") + rows[i].point, [&results, i] {
+      double mbps = rows[i].measure();
+      results[i] = mbps;
+      bench::JsonSink::global().record("table1", rows[i].point, mbps);
+    });
+  }
+  runner.run();
 
   TextTable t({"Test", "GPU/method", "Paper", "Model", "Nios II tasks"});
-  t.add_row({"Host mem read", "-", "2.4 GB/s",
-             strf("%.2f GB/s", read_bw(nullptr, core::MemType::kHost, true) / 1000),
-             "none"});
-  t.add_row({"GPU mem read", "Fermi/P2P", "1.5 GB/s",
-             strf("%.2f GB/s", read_bw(&fermi, core::MemType::kGpu, true) / 1000),
-             "GPU_P2P_TX"});
-  t.add_row({"GPU mem read", "Fermi/BAR1", "150 MB/s",
-             strf("%.0f MB/s", bar1_read_bw(fermi)), "TX DMA (BAR1)"});
-  t.add_row({"GPU mem read", "Kepler/P2P", "1.6 GB/s",
-             strf("%.2f GB/s", read_bw(&kepler, core::MemType::kGpu, true) / 1000),
-             "GPU_P2P_TX"});
-  t.add_row({"GPU mem read", "Kepler/BAR1", "1.6 GB/s",
-             strf("%.2f GB/s", bar1_read_bw(kepler) / 1000), "TX DMA (BAR1)"});
-  t.add_row({"GPU-to-GPU loop-back", "Fermi/P2P", "1.1 GB/s",
-             strf("%.2f GB/s", read_bw(&fermi, core::MemType::kGpu, false) / 1000),
-             "GPU_P2P_TX + RX"});
-  t.add_row({"Host-to-Host loop-back", "-", "1.2 GB/s",
-             strf("%.2f GB/s", read_bw(nullptr, core::MemType::kHost, false) / 1000),
-             "RX"});
+  for (std::size_t i = 0; i < kRows; ++i) {
+    std::string model =
+        !results[i].filled ? std::string("-")
+        : rows[i].gbps     ? strf("%.2f GB/s", results[i].v / 1000)
+                           : strf("%.0f MB/s", results[i].v);
+    t.add_row({rows[i].test, rows[i].method, rows[i].paper, model,
+               rows[i].nios});
+  }
   t.print();
   return 0;
 }

@@ -5,6 +5,13 @@
 //
 //   $ ./examples/bus_analyzer
 //   $ ./examples/bus_analyzer --trace-out=fig3.json   # Perfetto timeline
+//   $ ./examples/bus_analyzer --check                 # race detector on
+//   $ ./examples/bus_analyzer --state-hash-out=a.hash # per-event hashes
+//
+// --check arms the same-tick race detector (same as APN_CHECK=1);
+// --state-hash-out= additionally writes one rolling-state-hash line per
+// event, so diffing the files of two runs pinpoints the first divergent
+// event (see docs/CORRECTNESS.md).
 //
 // With --trace-out (or APN_TRACE=1) the run also produces a Chrome
 // trace-event JSON: load it in https://ui.perfetto.dev to see the protocol
@@ -15,6 +22,7 @@
 #include <cstring>
 #include <string>
 
+#include "check/check.hpp"
 #include "cluster/cluster.hpp"
 #include "trace/metrics.hpp"
 #include "trace/trace.hpp"
@@ -30,8 +38,20 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(a, "--trace-out=", 12) == 0) {
       trace_path = a + 12;
       if (trace_path.empty()) trace_path = "bus_analyzer_trace.json";
+    } else if (std::strcmp(a, "--check") == 0) {
+      check::Session::force_enable(true);
+    } else if (std::strncmp(a, "--state-hash-out=", 17) == 0) {
+      if (a[17] == '\0') {
+        std::fprintf(stderr, "error: --state-hash-out= requires a path\n");
+        return 2;
+      }
+      check::Session::force_enable(true);
+      check::HashSink::global().open(a + 17);
     } else {
-      std::fprintf(stderr, "usage: %s [--trace-out[=path]]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--trace-out[=path]] [--check] "
+                   "[--state-hash-out=path]\n",
+                   argv[0]);
       return 2;
     }
   }

@@ -74,7 +74,7 @@ Node::Node(sim::Simulator& sim, int index, core::TorusCoord coord,
 Cluster::Cluster(sim::Simulator& sim, core::TorusShape shape, NodeConfig cfg,
                  core::ApenetParams apn_params, ib::HcaParams ib_params,
                  mpi::MpiParams mpi_params)
-    : sim_(&sim), shape_(shape) {
+    : sim_(&sim), shape_(shape), check_session_(check::Session::from_env(sim)) {
   // Honor APN_TRACE for every binary that assembles a cluster: the sink
   // must exist before components open their trace tracks.
   trace::init_from_env();

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "check/check.hpp"
 #include "core/network.hpp"
 #include "core/rdma.hpp"
 #include "gpu/arch.hpp"
@@ -121,6 +122,9 @@ class Cluster {
  private:
   sim::Simulator* sim_;
   core::TorusShape shape_;
+  /// Race-detector session, installed before any component schedules events
+  /// (nullptr unless APN_CHECK / --check enabled checking).
+  std::unique_ptr<check::Session> check_session_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::unique_ptr<core::ApenetNetwork> apenet_;
   std::unique_ptr<mpi::World> mpi_world_;

@@ -56,8 +56,10 @@ void ApenetCard::add_buffer(BufListEntry entry) {
     // address in this model, but the table and the per-page scatter are
     // exercised exactly as on the real card.
     host_v2p_.map(entry.vaddr, entry.vaddr, entry.len);
+    APN_CHECK_ACCESS(host_v2p_, kWrite);
   }
   buf_list_.push_back(entry);
+  APN_CHECK_ACCESS(buf_list_, kWrite);
 }
 
 void ApenetCard::remove_buffer(std::uint64_t vaddr, std::uint32_t pid) {
@@ -68,13 +70,16 @@ void ApenetCard::remove_buffer(std::uint64_t vaddr, std::uint32_t pid) {
       if (it != gpu_v2p_.end()) it->second->unmap(e.vaddr, e.len);
     } else {
       host_v2p_.unmap(e.vaddr, e.len);
+      APN_CHECK_ACCESS(host_v2p_, kWrite);
     }
     return true;
   });
+  APN_CHECK_ACCESS(buf_list_, kWrite);
 }
 
 const BufListEntry* ApenetCard::find_buffer(std::uint64_t addr,
                                             std::uint32_t pid) const {
+  APN_CHECK_ACCESS(buf_list_, kRead);
   for (const BufListEntry& e : buf_list_) {
     if (pid == e.pid && addr >= e.vaddr && addr - e.vaddr < e.len) return &e;
   }
@@ -104,9 +109,9 @@ void ApenetCard::handle_write(std::uint64_t addr, pcie::Payload payload) {
 }
 
 void ApenetCard::handle_read(std::uint64_t /*addr*/, std::uint32_t len,
-                             std::function<void(pcie::Payload)> reply) {
+                             UniqueFn<void(pcie::Payload)> reply) {
   sim_->after(units::ns(400),
-              [len, reply = std::move(reply)] {
+              [len, reply = std::move(reply)]() mutable {
                 reply(pcie::Payload::timing(len));
               });
 }
@@ -203,11 +208,11 @@ sim::Coro ApenetCard::host_tx_engine() {
 // Router
 // ---------------------------------------------------------------------------
 
-void ApenetCard::inject(ApPacket pkt, std::function<void()> on_sent) {
+void ApenetCard::inject(ApPacket pkt, UniqueFn<void()> on_sent) {
   auto sp = std::make_shared<ApPacket>(std::move(pkt));
   injection_.post(params_.tx_packet_overhead, [this, sp,
-                                               on_sent =
-                                                   std::move(on_sent)] {
+                                               on_sent = std::move(
+                                                   on_sent)]() mutable {
     ++packets_injected_;
     m_tx_packets_->inc();
     if (params_.flush_at_switch) {
@@ -217,7 +222,7 @@ void ApenetCard::inject(ApPacket pkt, std::function<void()> on_sent) {
     }
     if (sp->hdr.dst == me_) {
       sim_->after(params_.router_latency,
-                  [this, sp, on_sent = std::move(on_sent)] {
+                  [this, sp, on_sent = std::move(on_sent)]() mutable {
                     rx_queue_.push(std::move(*sp));
                     on_sent();
                   });
@@ -231,7 +236,8 @@ void ApenetCard::inject(ApPacket pkt, std::function<void()> on_sent) {
       return;
     }
     sim_->after(params_.router_latency, [this, sp, &l, port,
-                                         on_sent = std::move(on_sent)] {
+                                         on_sent =
+                                             std::move(on_sent)]() mutable {
       const trace::Track& lt = trace_links_[static_cast<std::size_t>(port)];
       auto deliver = [nb = l.neighbor, sp] {
         nb->receive_from_link(std::move(*sp));
@@ -244,7 +250,8 @@ void ApenetCard::inject(ApPacket pkt, std::function<void()> on_sent) {
       const Time t0 = sim_->now();
       const std::uint64_t wire = sp->wire_bytes();
       l.channel->send(wire, std::move(deliver),
-                      [this, &lt, t0, wire, on_sent = std::move(on_sent)] {
+                      [this, &lt, t0, wire,
+                       on_sent = std::move(on_sent)]() mutable {
                         lt.span("torus", "pkt", t0, sim_->now(),
                                 {{"wire_bytes", wire}});
                         if (on_sent) on_sent();
@@ -278,6 +285,7 @@ void ApenetCard::receive_from_link(ApPacket pkt) {
 
 Time ApenetCard::rx_task_time(bool gpu_dest) const {
   const NiosCosts& c = params_.nios;
+  APN_CHECK_ACCESS(buf_list_, kRead);
   Time t = c.rx_buflist_base +
            static_cast<Time>(buf_list_.size()) * c.rx_buflist_per_entry +
            c.rx_v2p + c.rx_dma_kick;
@@ -325,6 +333,7 @@ void ApenetCard::deliver_rx_write(const ApPacket& pkt,
     // into a scatter list of 4 KB physical pages (paper §III-B) and emits
     // one DMA write per contiguous page run.
     PacketHeader hdr = pkt.hdr;
+    APN_CHECK_ACCESS(host_v2p_, kRead);
     const std::uint64_t page = host_v2p_.page_bytes();
     std::uint64_t pos = 0;
     const std::uint64_t total = pkt.payload.bytes;
@@ -375,8 +384,10 @@ void ApenetCard::deliver_rx_write(const ApPacket& pkt,
     const std::uint64_t in_page = addr - page;
     const std::uint64_t n = std::min(kWin - in_page, total - pos);
     auto it = gpu_window_.find(g);
+    APN_CHECK_ACCESS(gpu_window_, kRead);
     if (it == gpu_window_.end() || it->second != page) {
       gpu_window_[g] = page;
+      APN_CHECK_ACCESS(gpu_window_, kWrite);
       pcie::Payload ctl;
       ctl.bytes = 8;
       ctl.data.resize(8);
@@ -401,6 +412,10 @@ void ApenetCard::deliver_rx_write(const ApPacket& pkt,
 
 void ApenetCard::account_rx_delivery(const PacketHeader& hdr) {
   RxMsgState& st = rx_msgs_[hdr.msg_id];
+  // kAccum: per-packet completion counting commutes — the msg completes
+  // when the count reaches total_packets regardless of which same-tick
+  // delivery got there, and entries of distinct msg_ids are independent.
+  APN_CHECK_ACCESS(rx_msgs_, kAccum);
   // dst_vaddr is per-packet; payload length is implicit in accounting:
   // we count the packet as fully written when its last write delivered.
   st.written += 1;

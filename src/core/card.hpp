@@ -17,12 +17,13 @@
 
 #include <array>
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
+#include "check/check.hpp"
+#include "common/fn.hpp"
 #include "common/log.hpp"
 #include "core/packet.hpp"
 #include "core/v2p.hpp"
@@ -116,20 +117,20 @@ class ApenetCard : public pcie::Device {
   // ---- statistics -------------------------------------------------------------
   sim::Resource& nios() { return nios_; }
   GpuP2pTx& gpu_tx() { return *gpu_tx_; }
-  std::uint64_t packets_injected() const { return packets_injected_; }
-  std::uint64_t packets_received() const { return packets_received_; }
-  std::uint64_t rx_drops() const { return rx_drops_; }
-  std::uint64_t rx_bytes() const { return rx_bytes_; }
+  std::uint64_t packets_injected() const { return packets_injected_.peek(); }
+  std::uint64_t packets_received() const { return packets_received_.peek(); }
+  std::uint64_t rx_drops() const { return rx_drops_.peek(); }
+  std::uint64_t rx_bytes() const { return rx_bytes_.peek(); }
 
   // ---- pcie::Device -----------------------------------------------------------
   void handle_write(std::uint64_t addr, pcie::Payload payload) override;
   void handle_read(std::uint64_t addr, std::uint32_t len,
-                   std::function<void(pcie::Payload)> reply) override;
+                   UniqueFn<void(pcie::Payload)> reply) override;
 
   // ---- used by GpuP2pTx ---------------------------------------------------
   /// Inject a packet into the router; `on_sent` fires when the packet has
   /// left the card (link serialization done, or local/flushed delivery).
-  void inject(ApPacket pkt, std::function<void()> on_sent);
+  void inject(ApPacket pkt, UniqueFn<void()> on_sent);
   sim::Resource& nios_resource() { return nios_; }
 
  private:
@@ -181,10 +182,10 @@ class ApenetCard : public pcie::Device {
   std::unordered_map<gpu::Gpu*, std::unique_ptr<PageTable>> gpu_v2p_;
 
   std::vector<BufListEntry> buf_list_;
-  std::uint64_t packets_injected_ = 0;
-  std::uint64_t packets_received_ = 0;
-  std::uint64_t rx_drops_ = 0;
-  std::uint64_t rx_bytes_ = 0;
+  check::StateCell<std::uint64_t> packets_injected_{"card.packets_injected"};
+  check::StateCell<std::uint64_t> packets_received_{"card.packets_received"};
+  check::StateCell<std::uint64_t> rx_drops_{"card.rx_drops"};
+  check::StateCell<std::uint64_t> rx_bytes_{"card.rx_bytes"};
 
   // Observability (inert unless a trace sink is installed; see src/trace).
   trace::Track trace_rx_;       ///< RX RDMA engine lane (Nios + delivery)

@@ -27,6 +27,7 @@ void GpuP2pTx::submit(GpuTxJob job) { jobs_.push(std::move(job)); }
 void GpuP2pTx::issue_request(gpu::Gpu& gpu, std::uint64_t dev_offset,
                              std::uint32_t len) {
   ++requests_issued_;
+  APN_CHECK_ACCESS(requests_issued_, kAccum);
   m_requests_->inc();
   trace_.instant("card", "p2p_req", sim_.now(),
                  {{"dev_offset", dev_offset}, {"bytes", len}});
@@ -47,12 +48,21 @@ void GpuP2pTx::on_data_arrival(pcie::Payload payload) {
   Active& a = *active_;
   std::uint64_t n = payload.bytes;
   bytes_read_ += n;
-  m_bytes_->add(n);
+  APN_CHECK_ACCESS(bytes_read_, kAccum);
   a.arrived += n;
-  if (a.job.carry_data && !payload.data.empty())
+  APN_CHECK_ACCESS(a.arrived, kAccum);
+  m_bytes_->add(n);
+  if (a.job.carry_data && !payload.data.empty()) {
     a.buffer.insert(a.buffer.end(), payload.data.begin(), payload.data.end());
+    APN_CHECK_ACCESS(a.buffer, kWrite);
+  }
   if (a.uses_window) window_.release(static_cast<std::int64_t>(n));
   a.arrived_pool.release(static_cast<std::int64_t>(n));
+  // kSample: the engine may rewrite v1_wait_target in the same tick an
+  // arrival lands. Both orders are correct by the re-check protocol — the
+  // engine tests `arrived < target` before waiting, and this arrival opens
+  // the gate when the target was already in place.
+  APN_CHECK_ACCESS(a.v1_wait_target, kSample);
   if (a.v1_wait && a.arrived >= a.v1_wait_target) a.v1_wait->open();
   if (a.arrived >= a.job.proto.msg_bytes) a.all_arrived->open();
 }
@@ -115,9 +125,11 @@ sim::Coro GpuP2pTx::engine() {
             params_.nios.tx_gpu_v1_per_request);
         co_await fifo_.acquire(chunk);
         a.v1_wait_target = a.issued + chunk;
+        APN_CHECK_ACCESS(a.v1_wait_target, kWrite);
         a.v1_wait = std::make_shared<sim::Gate>(sim_);
         issue_request(*gpu, a.job.dev_offset + a.issued, chunk);
         a.issued += chunk;
+        APN_CHECK_ACCESS(a.issued, kWrite);
         co_await a.v1_wait->wait();
         a.v1_wait.reset();
       }
@@ -141,13 +153,19 @@ sim::Coro GpuP2pTx::engine() {
           co_await fifo_.acquire(chunk);
           issue_request(*gpu, a.job.dev_offset + a.issued, chunk);
           a.issued += chunk;
+          APN_CHECK_ACCESS(a.issued, kWrite);
           batched += chunk;
           co_await sim::delay(sim_, params_.p2p_request_interval);
         }
         // The Nios II supervises the refill while the batch streams back.
         card_.nios_resource().post(params_.nios.tx_gpu_v3_per_refill);
         a.v1_wait_target = a.issued;
+        APN_CHECK_ACCESS(a.v1_wait_target, kWrite);
         a.v1_wait = std::make_shared<sim::Gate>(sim_);
+        // kSample: an arrival in this same tick may still be raising
+        // `arrived`; if it beats us the test skips the wait, if not the
+        // arrival opens the gate. Both orders converge (see on_data_arrival).
+        APN_CHECK_ACCESS(a.arrived, kSample);
         if (a.arrived < a.v1_wait_target) co_await a.v1_wait->wait();
         a.v1_wait.reset();
       }
@@ -168,6 +186,7 @@ sim::Coro GpuP2pTx::engine() {
         co_await fifo_.acquire(chunk);
         issue_request(*gpu, a.job.dev_offset + a.issued, chunk);
         a.issued += chunk;
+        APN_CHECK_ACCESS(a.issued, kWrite);
         since_refill += chunk;
         if (since_refill >= 64 * 1024) {
           since_refill = 0;

@@ -16,6 +16,10 @@ RdmaDevice::RdmaDevice(ApenetCard& card, pcie::HostMemory& hostmem,
 
 const RdmaDevice::Registration* RdmaDevice::find_registration(
     std::uint64_t addr, std::uint64_t len) const {
+  // kSample: a same-tick registration always concerns a different buffer
+  // (callers await register_buffer before operating on one), so the
+  // lookup result is order-independent.
+  APN_CHECK_ACCESS(cache_, kSample);
   auto it = cache_.upper_bound(addr);
   if (it == cache_.begin()) return nullptr;
   --it;
@@ -26,6 +30,8 @@ const RdmaDevice::Registration* RdmaDevice::find_registration(
 
 RdmaDevice::Registration* RdmaDevice::find_registration_mut(
     std::uint64_t addr, std::uint64_t len, std::uint64_t* base) {
+  // kSample: see find_registration.
+  APN_CHECK_ACCESS(cache_, kSample);
   auto it = cache_.upper_bound(addr);
   if (it == cache_.begin()) return nullptr;
   --it;
@@ -56,10 +62,12 @@ sim::Future<bool> RdmaDevice::register_buffer(std::uint64_t addr,
   sim::Future<bool> done(*sim_);
   if (find_registration(addr, len) != nullptr) {
     ++cache_hits_;
+    APN_CHECK_ACCESS(cache_hits_, kAccum);
     done.set(true);
     return done;
   }
   ++cache_misses_;
+  APN_CHECK_ACCESS(cache_misses_, kAccum);
 
   bool is_gpu;
   cuda::PointerInfo pinfo;
@@ -100,6 +108,8 @@ sim::Future<bool> RdmaDevice::register_buffer(std::uint64_t addr,
   if (type == MemType::kAuto) cost += params_.pointer_query_cost;
 
   cache_[addr] = Registration{len, is_gpu};
+  // kAccum: same-tick registrations insert disjoint keys and commute.
+  APN_CHECK_ACCESS(cache_, kAccum);
   sim_->after(cost, [this, entry, done]() mutable {
     card_->add_buffer(entry);
     done.set(true);
@@ -112,6 +122,7 @@ void RdmaDevice::deregister_buffer(std::uint64_t addr) {
   if (it == cache_.end()) return;
   if (!it->second.is_gpu) hostmem_->unpin(reinterpret_cast<void*>(addr));
   cache_.erase(it);
+  APN_CHECK_ACCESS(cache_, kWrite);
   card_->remove_buffer(addr, pid_);
 }
 
@@ -126,6 +137,7 @@ RdmaDevice::Put RdmaDevice::put(TorusCoord dst, std::uint64_t local_addr,
       (static_cast<std::uint64_t>(me.y) << 8) |
       static_cast<std::uint64_t>(me.z);
   result.msg_id = (node_key << 40) | next_seq_++;
+  APN_CHECK_ACCESS(next_seq_, kWrite);
   result.tx_done = std::make_shared<sim::Gate>(*sim_);
   do_put(dst, local_addr, len, remote_vaddr, type, carry_data,
          result.tx_done, result.msg_id);

@@ -33,25 +33,36 @@ std::uint64_t Gpu::bar1_map(std::uint64_t dev_offset, std::uint64_t size) {
   std::uint64_t aperture_off = bar1_used_;
   bar1_used_ += (size + 0xFFFFull) & ~0xFFFFull;  // 64 KB granularity
   bar1_maps_.push_back(Bar1Mapping{aperture_off, dev_offset, size});
+  // kAccum: two same-tick BAR1 mappings allocate disjoint aperture ranges;
+  // either allocation order yields self-consistent, equally-timed mappings.
+  APN_CHECK_ACCESS(bar1_used_, kAccum);
+  APN_CHECK_ACCESS(bar1_maps_, kAccum);
   return mmio_base_ + GpuMmio::kBar1Aperture + aperture_off;
 }
 
 void Gpu::bar1_reset() {
   bar1_used_ = 0;
   bar1_maps_.clear();
+  // Reset is a teardown-path write: keep it order-sensitive so a reset
+  // racing a same-tick mapping or aperture access is flagged.
+  APN_CHECK_ACCESS(bar1_used_, kWrite);
+  APN_CHECK_ACCESS(bar1_maps_, kWrite);
 }
 
 void Gpu::serve_p2p_request(const P2pReadDescriptor& desc) {
   // The request mailbox has a finite queue (the "multiple-outstanding read
   // request queue" of Fig. 2); requests beyond the depth wait until a
   // completion frees a slot.
+  APN_CHECK_ACCESS(p2p_queue_depth_, kRead);
   if (p2p_queue_depth_ >= arch_.p2p_max_outstanding) {
     p2p_backlog_.push_back(desc);
+    APN_CHECK_ACCESS(p2p_backlog_, kWrite);
     return;
   }
   ++p2p_requests_;
   p2p_bytes_ += desc.len;
   ++p2p_queue_depth_;
+  APN_CHECK_ACCESS(p2p_queue_depth_, kWrite);
   m_p2p_requests_->inc();
   m_p2p_bytes_->add(desc.len);
   const Time t_accept = sim_->now();
@@ -82,9 +93,11 @@ void Gpu::serve_p2p_request(const P2pReadDescriptor& desc) {
                           {{"dev_offset", desc.dev_offset},
                            {"bytes", desc.len}});
           --p2p_queue_depth_;
+          APN_CHECK_ACCESS(p2p_queue_depth_, kWrite);
           if (!p2p_backlog_.empty()) {
             P2pReadDescriptor next = p2p_backlog_.front();
             p2p_backlog_.pop_front();
+            APN_CHECK_ACCESS(p2p_backlog_, kWrite);
             serve_p2p_request(next);
           }
         }
@@ -114,6 +127,7 @@ void Gpu::handle_write(std::uint64_t addr, pcie::Payload payload) {
   if (off == GpuMmio::kWindowCtl) {
     if (payload.data.size() >= sizeof(std::uint64_t)) {
       std::memcpy(&window_page_, payload.data.data(), sizeof(window_page_));
+      APN_CHECK_ACCESS(window_page_, kWrite);
       ++window_switches_;
       m_window_switches_->inc();
       trace_p2p_.instant("gpu", "window_switch", sim_->now(),
@@ -125,6 +139,7 @@ void Gpu::handle_write(std::uint64_t addr, pcie::Payload payload) {
   if (off >= GpuMmio::kWindowAperture &&
       off < GpuMmio::kWindowAperture + GpuMmio::kWindowBytes) {
     if (!payload.data.empty()) {
+      APN_CHECK_ACCESS(window_page_, kRead);
       std::uint64_t dev_off = window_page_ + (off - GpuMmio::kWindowAperture);
       mem_.write(dev_off, std::span<const std::uint8_t>(payload.data));
     }
@@ -133,6 +148,11 @@ void Gpu::handle_write(std::uint64_t addr, pcie::Payload payload) {
 
   if (off >= GpuMmio::kBar1Aperture) {
     std::uint64_t ap = off - GpuMmio::kBar1Aperture;
+    // kSample: a same-tick bar1_map() adds a mapping this access cannot
+    // target yet (its PCIe address is only returned by that call), so the
+    // lookup is order-independent. bar1_reset() races stay flagged via the
+    // reset's kWrite.
+    APN_CHECK_ACCESS(bar1_maps_, kSample);
     for (const Bar1Mapping& m : bar1_maps_) {
       if (ap >= m.aperture_off && ap - m.aperture_off < m.size) {
         if (!payload.data.empty())
@@ -146,10 +166,13 @@ void Gpu::handle_write(std::uint64_t addr, pcie::Payload payload) {
 }
 
 void Gpu::handle_read(std::uint64_t addr, std::uint32_t len,
-                      std::function<void(pcie::Payload)> reply) {
+                      UniqueFn<void(pcie::Payload)> reply) {
   const std::uint64_t off = addr - mmio_base_;
   if (off >= GpuMmio::kBar1Aperture) {
     std::uint64_t ap = off - GpuMmio::kBar1Aperture;
+    // kSample: see handle_write — mappings referenced here pre-date the
+    // access by contract; only reset() may legitimately conflict.
+    APN_CHECK_ACCESS(bar1_maps_, kSample);
     for (const Bar1Mapping& m : bar1_maps_) {
       if (ap >= m.aperture_off && ap - m.aperture_off < m.size) {
         std::uint64_t dev_off = m.dev_offset + (ap - m.aperture_off);
@@ -165,7 +188,7 @@ void Gpu::handle_read(std::uint64_t addr, std::uint32_t len,
                                               reply = std::move(reply)]() mutable {
           bar1_line_.post(stream,
                           [this, dev_off, len, t_req,
-                           reply = std::move(reply)] {
+                           reply = std::move(reply)]() mutable {
                             trace_bar1_.span("gpu", "bar1_read", t_req,
                                              sim_->now(),
                                              {{"dev_offset", dev_off},
@@ -183,7 +206,7 @@ void Gpu::handle_read(std::uint64_t addr, std::uint32_t len,
     }
   }
   // Reads of unmapped space complete with zeros after a nominal delay.
-  sim_->after(units::ns(400), [len, reply = std::move(reply)] {
+  sim_->after(units::ns(400), [len, reply = std::move(reply)]() mutable {
     reply(pcie::Payload::timing(len));
   });
 }

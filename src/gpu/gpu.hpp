@@ -23,10 +23,11 @@
 #include <cstdint>
 #include <cstring>
 #include <deque>
-#include <functional>
 #include <span>
 #include <stdexcept>
 
+#include "check/check.hpp"
+#include "common/fn.hpp"
 #include "gpu/arch.hpp"
 #include "gpu/device_memory.hpp"
 #include "pcie/fabric.hpp"
@@ -95,15 +96,15 @@ class Gpu : public pcie::Device {
   sim::Resource& compute_engine() { return compute_; }
 
   // ---- statistics -----------------------------------------------------------
-  std::uint64_t p2p_requests_served() const { return p2p_requests_; }
+  std::uint64_t p2p_requests_served() const { return p2p_requests_.peek(); }
   int p2p_queue_depth() const { return p2p_queue_depth_; }
-  std::uint64_t p2p_bytes_served() const { return p2p_bytes_; }
-  std::uint64_t window_switches() const { return window_switches_; }
+  std::uint64_t p2p_bytes_served() const { return p2p_bytes_.peek(); }
+  std::uint64_t window_switches() const { return window_switches_.peek(); }
 
   // ---- pcie::Device ----------------------------------------------------------
   void handle_write(std::uint64_t addr, pcie::Payload payload) override;
   void handle_read(std::uint64_t addr, std::uint32_t len,
-                   std::function<void(pcie::Payload)> reply) override;
+                   UniqueFn<void(pcie::Payload)> reply) override;
 
  private:
   void serve_p2p_request(const P2pReadDescriptor& desc);
@@ -128,9 +129,9 @@ class Gpu : public pcie::Device {
   };
   std::vector<Bar1Mapping> bar1_maps_;
 
-  std::uint64_t p2p_requests_ = 0;
-  std::uint64_t p2p_bytes_ = 0;
-  std::uint64_t window_switches_ = 0;
+  check::StateCell<std::uint64_t> p2p_requests_{"gpu.p2p_requests"};
+  check::StateCell<std::uint64_t> p2p_bytes_{"gpu.p2p_bytes"};
+  check::StateCell<std::uint64_t> window_switches_{"gpu.window_switches"};
   int p2p_queue_depth_ = 0;
   std::deque<P2pReadDescriptor> p2p_backlog_;  ///< beyond the queue depth
 

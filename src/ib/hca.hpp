@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/fn.hpp"
 #include "pcie/fabric.hpp"
 #include "pcie/memory.hpp"
 #include "sim/channel.hpp"
@@ -77,7 +78,7 @@ class Hca : public pcie::Device {
   // pcie::Device (the HCA has no interesting MMIO behaviour in this model)
   void handle_write(std::uint64_t, pcie::Payload) override {}
   void handle_read(std::uint64_t, std::uint32_t len,
-                   std::function<void(pcie::Payload)> reply) override {
+                   UniqueFn<void(pcie::Payload)> reply) override {
     reply(pcie::Payload::timing(len));
   }
 

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "check/check.hpp"
+
 namespace apn::pcie {
 
 int Fabric::add_root(const std::string& name) {
@@ -56,6 +58,7 @@ int Fabric::attach(Device& dev, int parent, LinkParams link) {
 }
 
 void Fabric::claim_range(Device& dev, std::uint64_t base, std::uint64_t size) {
+  APN_CHECK_ACCESS(ranges_, kWrite);
   ranges_.push_back(Range{base, size, &dev});
 }
 
@@ -69,6 +72,7 @@ void Fabric::attach_analyzer(int node, BusAnalyzer& analyzer) {
 }
 
 Device* Fabric::route(std::uint64_t addr) const {
+  APN_CHECK_ACCESS(ranges_, kRead);
   for (const Range& r : ranges_)
     if (addr >= r.base && addr - r.base < r.size) return r.dev;
   return default_target_;
@@ -110,7 +114,7 @@ struct Fabric::Xfer {
   std::uint64_t total;
   Payload payload;
   std::uint64_t delivered_bytes = 0;
-  std::function<void(Payload)> done;
+  UniqueFn<void(Payload)> done;
 };
 
 namespace {
@@ -127,7 +131,7 @@ Payload slice(const Payload& p, std::uint64_t offset, std::uint32_t len) {
 
 void Fabric::send_chunks(std::vector<Hop> hops, BusEvent::Kind kind,
                          std::uint64_t addr, Payload payload,
-                         std::function<void(Payload)> on_delivered) {
+                         UniqueFn<void(Payload)> on_delivered) {
   auto xfer = std::make_shared<Xfer>();
   xfer->hops = std::move(hops);
   xfer->kind = kind;
@@ -151,8 +155,12 @@ void Fabric::forward_chunk(const std::shared_ptr<Xfer>& xfer,
                            std::uint64_t offset, std::uint32_t chunk,
                            std::size_t hop_idx) {
   if (hop_idx == xfer->hops.size()) {
-    // Chunk fully arrived at the target end.
+    // Chunk fully arrived at the target end. Chunks of one transfer are
+    // serialized by the hop channels, but the accumulate-and-test below is
+    // the canonical shape the race detector watches: flag it if two chunk
+    // deliveries ever land in the same tick without ordering.
     xfer->delivered_bytes += chunk;
+    APN_CHECK_ACCESS(xfer->delivered_bytes, kWrite);
     const bool last =
         (xfer->total == 0) || (xfer->delivered_bytes >= xfer->total);
     if (xfer->kind == BusEvent::Kind::kWrite) {
@@ -187,19 +195,19 @@ void Fabric::forward_chunk(const std::shared_ptr<Xfer>& xfer,
 }
 
 void Fabric::post_write(const Device& src, std::uint64_t addr, Payload payload,
-                        std::function<void()> on_delivered) {
+                        UniqueFn<void()> on_delivered) {
   Device* target = route(addr);
   if (target == nullptr) throw std::runtime_error("unroutable write address");
   auto hops = path(src.pcie_node(), target->pcie_node());
   send_chunks(std::move(hops), BusEvent::Kind::kWrite, addr,
               std::move(payload),
-              [cb = std::move(on_delivered)](Payload) {
+              [cb = std::move(on_delivered)](Payload) mutable {
                 if (cb) cb();
               });
 }
 
 void Fabric::read(const Device& src, std::uint64_t addr, std::uint32_t len,
-                  std::function<void(Payload)> on_complete) {
+                  UniqueFn<void(Payload)> on_complete) {
   Device* target = route(addr);
   if (target == nullptr) throw std::runtime_error("unroutable read address");
   auto req_hops = path(src.pcie_node(), target->pcie_node());

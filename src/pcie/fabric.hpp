@@ -15,12 +15,12 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/fn.hpp"
 #include "common/units.hpp"
 #include "pcie/link.hpp"
 #include "sim/channel.hpp"
@@ -59,7 +59,7 @@ class Device {
   /// the data (the fabric streams the completion back to the requester).
   /// The delay before calling reply models the device's internal latency.
   virtual void handle_read(std::uint64_t addr, std::uint32_t len,
-                           std::function<void(Payload)> reply) = 0;
+                           UniqueFn<void(Payload)> reply) = 0;
 
   const std::string& pcie_name() const { return pcie_name_; }
   int pcie_node() const { return pcie_node_; }
@@ -159,13 +159,13 @@ class Fabric {
   /// Posted memory write from `src` device to `addr`. `on_delivered` fires
   /// when the last chunk reaches the target (after handle_write ran).
   void post_write(const Device& src, std::uint64_t addr, Payload payload,
-                  std::function<void()> on_delivered = {});
+                  UniqueFn<void()> on_delivered = {});
 
   /// Memory read: request travels to the target; target replies via
   /// handle_read; completion data streams back. `on_complete` receives the
   /// full data once the last completion chunk arrives at `src`.
   void read(const Device& src, std::uint64_t addr, std::uint32_t len,
-            std::function<void(Payload)> on_complete);
+            UniqueFn<void(Payload)> on_complete);
 
   /// Route lookup (target device for an address); nullptr if unroutable.
   Device* route(std::uint64_t addr) const;
@@ -210,7 +210,7 @@ class Fabric {
   std::vector<Hop> path(int from_node, int to_node) const;
   void send_chunks(std::vector<Hop> hops, BusEvent::Kind kind,
                    std::uint64_t addr, Payload payload,
-                   std::function<void(Payload)> on_delivered);
+                   UniqueFn<void(Payload)> on_delivered);
   /// Forward one chunk across hop `hop_idx` of its transfer's path; on the
   /// final hop, deliver to the target device and finish the transfer.
   void forward_chunk(const std::shared_ptr<Xfer>& xfer, std::uint64_t offset,
@@ -224,7 +224,6 @@ class Fabric {
   std::vector<Range> ranges_;
   Device* default_target_ = nullptr;
   int root_ = -1;
-  std::uint64_t next_read_tag_ = 1;
 };
 
 }  // namespace apn::pcie

@@ -10,9 +10,10 @@
 
 #include <cstdint>
 #include <cstring>
-#include <functional>
 #include <map>
 
+#include "check/check.hpp"
+#include "common/fn.hpp"
 #include "pcie/fabric.hpp"
 #include "sim/resource.hpp"
 
@@ -31,10 +32,15 @@ class HostMemory : public Device {
   }
 
   /// Pin a region of process memory for device access (DMA-ability).
+  /// kAccum: same-tick registrations insert disjoint keys and commute.
   void pin(void* ptr, std::size_t len) {
     pinned_[reinterpret_cast<std::uint64_t>(ptr)] = len;
+    APN_CHECK_ACCESS(pinned_, kAccum);
   }
-  void unpin(void* ptr) { pinned_.erase(reinterpret_cast<std::uint64_t>(ptr)); }
+  void unpin(void* ptr) {
+    pinned_.erase(reinterpret_cast<std::uint64_t>(ptr));
+    APN_CHECK_ACCESS(pinned_, kAccum);
+  }
   bool is_pinned(std::uint64_t addr, std::uint64_t len) const {
     return find_pinned(addr, len) != nullptr;
   }
@@ -49,13 +55,14 @@ class HostMemory : public Device {
   }
 
   void handle_read(std::uint64_t addr, std::uint32_t len,
-                   std::function<void(Payload)> reply) override {
+                   UniqueFn<void(Payload)> reply) override {
     // Access latency pipelines across outstanding reads (DRAM banks);
     // completion generation serializes at the memory-port rate.
     Time stream = units::transfer_time(len, params_.read_bytes_per_sec);
     sim_->after(params_.read_latency, [this, addr, len, stream,
                                        reply = std::move(reply)]() mutable {
-      read_port_.post(stream, [this, addr, len, reply = std::move(reply)] {
+      read_port_.post(stream, [this, addr, len,
+                               reply = std::move(reply)]() mutable {
         Payload p;
         p.bytes = len;
         if (find_pinned(addr, len) != nullptr) {
@@ -72,6 +79,10 @@ class HostMemory : public Device {
   /// Returns the pinned region containing [addr, addr+len), or nullptr.
   const std::size_t* find_pinned(std::uint64_t addr,
                                  std::uint64_t len) const {
+    // kSample: a same-tick pin() always concerns a *different* region —
+    // buffers are registered strictly before any transfer touches them
+    // (driver contract), so the lookup result is order-independent.
+    APN_CHECK_ACCESS(pinned_, kSample);
     auto it = pinned_.upper_bound(addr);
     if (it == pinned_.begin()) return nullptr;
     --it;

@@ -9,16 +9,16 @@
 // while earlier ones are still propagating.
 //
 // send() is templated over the callback types so lambdas flow into the
-// event engine's inline storage without being boxed into std::function;
-// transfer() takes the fully typed path (Resource::post_resume) and
-// constructs no callable at all.
+// event engine's inline storage without being boxed behind a type-erased
+// wrapper; transfer() takes the fully typed path (Resource::post_resume)
+// and constructs no callable at all.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <type_traits>
 #include <utility>
 
+#include "common/fn.hpp"
 #include "common/units.hpp"
 #include "sim/resource.hpp"
 #include "sim/simulator.hpp"
@@ -47,14 +47,14 @@ class Channel {
   /// Queue `bytes` for transmission; `delivered` fires at arrival time.
   /// `serialized` (optional) fires when the payload has fully left the
   /// sender — the point at which sender-side buffer space is reclaimable.
-  template <typename D, typename S = std::function<void()>>
+  template <typename D, typename S = UniqueFn<void()>>
   void send(std::uint64_t bytes, D delivered, S serialized = {}) {
     bytes_sent_ += bytes;
-    // S may be a std::function-like type passed empty when the caller has
-    // no serialized hook; plain lambdas are always truthy-equivalent and
+    // S may be a UniqueFn-like type passed empty when the caller has no
+    // serialized hook; plain lambdas are always truthy-equivalent and
     // called unconditionally. The no-hook wrapper captures only
-    // {this, delivered} so a small `delivered` stays within the
-    // std::function inline buffer on the Resource job.
+    // {this, delivered} so a small `delivered` stays within the event
+    // node's inline payload on the Resource job.
     const bool has_serialized = [&] {
       if constexpr (requires { static_cast<bool>(serialized); })
         return static_cast<bool>(serialized);

@@ -6,7 +6,7 @@
 // callback or awaited from a coroutine. Utilization accounting is built in
 // so benches can report how busy a bottleneck device was.
 //
-// Coroutine clients take typed paths that construct no std::function:
+// Coroutine clients take typed paths that construct no callable wrapper:
 //  * post(duration, h) / use(duration): resume `h` inside the completion
 //    event — the typed equivalent of post(duration, [h]{ h.resume(); }).
 //  * post_resume(duration, h, extra): *schedule* the resume `extra` after
@@ -19,9 +19,9 @@
 #include <coroutine>
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <utility>
 
+#include "common/fn.hpp"
 #include "sim/simulator.hpp"
 
 namespace apn::sim {
@@ -33,7 +33,7 @@ class Resource {
   Resource& operator=(const Resource&) = delete;
 
   /// Enqueue a job taking `duration`; `done` fires when the job completes.
-  void post(Time duration, std::function<void()> done = {}) {
+  void post(Time duration, UniqueFn<void()> done = {}) {
     queue_.push_back(Job{duration, std::move(done), {}, kInlineResume});
     if (!busy_) start_next();
   }
@@ -89,7 +89,7 @@ class Resource {
 
   struct Job {
     Time duration;
-    std::function<void()> done;  // callback completion (may be empty)
+    UniqueFn<void()> done;       // callback completion (may be empty)
     std::coroutine_handle<> h;   // typed completion (may be null)
     Time resume_extra_delay;     // kInlineResume = resume inside completion
   };

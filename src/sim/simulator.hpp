@@ -40,7 +40,6 @@
 #include <coroutine>
 #include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <new>
 #include <type_traits>
@@ -50,6 +49,25 @@
 #include "common/units.hpp"
 
 namespace apn::sim {
+
+/// Observer of event dispatch, installed with Simulator::set_event_hook.
+/// The simulation race detector (src/check) implements this to learn, for
+/// every fired event, its (time, seq) and the seq of the event that
+/// scheduled it (its causal parent) — sim itself depends on nothing above
+/// it. `parent` is kNoParent for events scheduled outside any event
+/// (setup code, coroutine bodies started before run()).
+class EventHook {
+ public:
+  static constexpr std::uint64_t kNoParent = ~std::uint64_t{0};
+
+  virtual ~EventHook() = default;
+  /// Called before the event's payload runs.
+  virtual void on_event_begin(Time now, std::uint64_t seq,
+                              std::uint64_t parent) = 0;
+  /// Called after the payload returned (including via exception unwinding
+  /// being absent: payloads that throw terminate the run).
+  virtual void on_event_end() = 0;
+};
 
 class Simulator {
  public:
@@ -115,8 +133,18 @@ class Simulator {
     ++processed_;
     // The invoke trampoline moves the payload out, releases the node back
     // to the freelist, then runs the payload — so events scheduled by the
-    // payload reuse the hot node immediately.
-    n->invoke(*this, n);
+    // payload reuse the hot node immediately. running_seq_ stays set for
+    // the payload's whole execution: nodes it schedules record it as their
+    // causal parent.
+    running_seq_ = n->seq;
+    if (hook_ != nullptr) {
+      hook_->on_event_begin(now_, n->seq, n->parent);
+      n->invoke(*this, n);
+      hook_->on_event_end();
+    } else {
+      n->invoke(*this, n);
+    }
+    running_seq_ = EventHook::kNoParent;
     return true;
   }
 
@@ -132,6 +160,15 @@ class Simulator {
     if (now_ < t) now_ = t;
   }
 
+  /// Install (or clear, with nullptr) the event-dispatch observer. Debug
+  /// tooling only: with no hook the dispatch loop takes the unhooked path.
+  void set_event_hook(EventHook* hook) { hook_ = hook; }
+  EventHook* event_hook() const { return hook_; }
+
+  /// Sequence number of the event currently being dispatched, or
+  /// EventHook::kNoParent outside dispatch.
+  std::uint64_t running_seq() const { return running_seq_; }
+
   std::uint64_t events_processed() const { return processed_; }
   bool empty() const {
     return ring_head_ == nullptr && wheel_size_ == 0 && heap_.empty();
@@ -142,14 +179,15 @@ class Simulator {
 
  private:
   /// Inline payload budget. Sized so the capturing lambdas on the model's
-  /// hot paths (this + a couple of std::functions + a few scalars) stay
-  /// inline; with the 32-byte header the node stays under two cache lines.
+  /// hot paths (this + a UniqueFn completion + a few scalars) stay inline;
+  /// with the 40-byte header the node stays within two cache lines.
   static constexpr std::size_t kInlineBytes = 80;
   /// Wheel window span in slots (1 slot = 1 ps). Power of two.
   static constexpr Time kWheelSlots = 1024;
 
   struct EventNode {
     std::uint64_t seq;
+    std::uint64_t parent;  // seq of the scheduling event (causal parent)
     EventNode* next;  // freelist / ring / wheel-slot link
     void (*invoke)(Simulator&, EventNode*);  // fire payload, release node
     void (*drop)(EventNode*);                // destroy payload, no fire
@@ -223,6 +261,7 @@ class Simulator {
   EventNode* make_node(Arg&& fn) {
     EventNode* n = alloc_node();
     n->seq = next_seq_++;
+    n->parent = running_seq_;
     if constexpr (fits_inline<F>()) {
       ::new (static_cast<void*>(n->storage)) F(std::forward<Arg>(fn));
       n->invoke = &inline_invoke<F>;
@@ -239,6 +278,7 @@ class Simulator {
   EventNode* make_resume_node(std::coroutine_handle<> h) {
     EventNode* n = alloc_node();
     n->seq = next_seq_++;
+    n->parent = running_seq_;
     n->invoke = &coro_invoke;
     n->drop = &noop_drop;
     ::new (static_cast<void*>(n->storage)) std::coroutine_handle<>(h);
@@ -449,6 +489,8 @@ class Simulator {
   Time base_ = 0;  ///< wheel window start; base_ <= now_ always
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
+  std::uint64_t running_seq_ = EventHook::kNoParent;
+  EventHook* hook_ = nullptr;
   EventNode* ring_head_ = nullptr;
   EventNode* ring_tail_ = nullptr;
   std::size_t ring_size_ = 0;

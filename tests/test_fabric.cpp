@@ -21,7 +21,7 @@ class ScratchDevice : public Device {
       last_data.assign(payload.data.begin(), payload.data.end());
   }
   void handle_read(std::uint64_t, std::uint32_t len,
-                   std::function<void(Payload)> reply) override {
+                   UniqueFn<void(Payload)> reply) override {
     Payload p;
     p.bytes = len;
     p.data.assign(len, 0xAB);

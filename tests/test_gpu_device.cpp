@@ -22,7 +22,7 @@ class Collector : public pcie::Device {
     if (first_at < 0) first_at = sim_->now();
   }
   void handle_read(std::uint64_t, std::uint32_t len,
-                   std::function<void(pcie::Payload)> reply) override {
+                   UniqueFn<void(pcie::Payload)> reply) override {
     reply(pcie::Payload::timing(len));
   }
   std::uint64_t bytes = 0;

@@ -1,0 +1,247 @@
+// Tests for apn-lint (tools/apn-lint): every rule, the suppression
+// syntax, and the ratcheting baseline machinery. Sources are fed as
+// strings via lint_source, with the path choosing the directory-scoped
+// behavior.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace {
+
+using apn::lint::Baseline;
+using apn::lint::Finding;
+using apn::lint::lint_source;
+
+std::vector<std::string> rules_of(const std::vector<Finding>& fs) {
+  std::vector<std::string> out;
+  for (const Finding& f : fs) out.push_back(f.rule);
+  return out;
+}
+
+// ---- wall-clock ------------------------------------------------------------
+
+TEST(LintWallClock, FlagsChronoClocksAndCApis) {
+  auto f = lint_source("src/core/x.cpp",
+                       "auto t = std::chrono::steady_clock::now();\n"
+                       "struct timeval tv; gettimeofday(&tv, nullptr);\n");
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[0].rule, "wall-clock");
+  EXPECT_EQ(f[0].line, 1);
+  EXPECT_EQ(f[1].line, 2);
+}
+
+TEST(LintWallClock, FlagsBareAndQualifiedTimeCalls) {
+  EXPECT_EQ(lint_source("a.cpp", "time_t t = time(nullptr);\n").size(), 1u);
+  EXPECT_EQ(lint_source("a.cpp", "auto t = std::time(nullptr);\n").size(),
+            1u);
+  EXPECT_EQ(lint_source("a.cpp", "auto t = ::time(nullptr);\n").size(), 1u);
+}
+
+TEST(LintWallClock, IgnoresMembersAndOtherNamespaces) {
+  // Member calls and non-std qualifiers are someone else's time().
+  EXPECT_TRUE(lint_source("a.cpp", "auto t = sim.time();\n").empty());
+  EXPECT_TRUE(lint_source("a.cpp", "auto t = obj->time();\n").empty());
+  EXPECT_TRUE(lint_source("a.cpp", "auto t = mysim::time(x);\n").empty());
+  // The word in other contexts (declarations, members) is fine too.
+  EXPECT_TRUE(lint_source("a.cpp", "Time rx_task_time = 0;\n").empty());
+}
+
+TEST(LintWallClock, CommentsAndStringsAreNotCode) {
+  EXPECT_TRUE(lint_source("a.cpp",
+                          "// calls gettimeofday() on real hardware\n"
+                          "const char* s = \"gettimeofday\";\n")
+                  .empty());
+}
+
+// ---- raw-rand --------------------------------------------------------------
+
+TEST(LintRawRand, FlagsCAndStdEngines) {
+  auto f = lint_source("src/apps/x.cpp",
+                       "int a = rand();\n"
+                       "std::mt19937 gen(std::random_device{}());\n");
+  auto rules = rules_of(f);
+  ASSERT_EQ(f.size(), 3u);  // rand, mt19937, random_device
+  for (const auto& r : rules) EXPECT_EQ(r, "raw-rand");
+}
+
+TEST(LintRawRand, RngModuleIsExempt) {
+  EXPECT_TRUE(
+      lint_source("src/common/rng.hpp", "int a = rand();\n").empty());
+  EXPECT_TRUE(
+      lint_source("src/common/rng_test_helper.cpp", "std::mt19937 g;\n")
+          .empty());
+}
+
+// ---- std-function ----------------------------------------------------------
+
+TEST(LintStdFunction, FlaggedOnlyInHotPaths) {
+  const std::string src = "std::function<void()> cb;\n";
+  EXPECT_EQ(lint_source("src/sim/x.hpp", src).size(), 1u);
+  EXPECT_EQ(lint_source("src/core/x.cpp", src).size(), 1u);
+  EXPECT_EQ(lint_source("src/pcie/x.hpp", src).size(), 1u);
+  // Cold layers may still use it.
+  EXPECT_TRUE(lint_source("src/apps/x.cpp", src).empty());
+  EXPECT_TRUE(lint_source("src/ib/hca.cpp", src).empty());
+}
+
+TEST(LintStdFunction, QualifiedSpellingOnly) {
+  // A type merely named "function" is not std::function.
+  EXPECT_TRUE(lint_source("src/sim/x.hpp", "my::function<void()> cb;\n")
+                  .empty());
+}
+
+// ---- ptr-key-iter ----------------------------------------------------------
+
+TEST(LintPtrKeyIter, FlagsRangeForOverPointerKeyedMap) {
+  auto f = lint_source("src/x.cpp",
+                       "std::map<Node*, int> weights;\n"
+                       "for (auto& [n, w] : weights) total += w;\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "ptr-key-iter");
+  EXPECT_EQ(f[0].line, 2);
+}
+
+TEST(LintPtrKeyIter, FlagsExplicitBeginIteration) {
+  auto f = lint_source("src/x.cpp",
+                       "std::unordered_set<const void*> seen;\n"
+                       "auto it = seen.begin();\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "ptr-key-iter");
+}
+
+TEST(LintPtrKeyIter, LookupOnlyUseIsClean) {
+  EXPECT_TRUE(lint_source("src/x.cpp",
+                          "std::unordered_map<const void*, CellState> cells;\n"
+                          "auto it = cells.find(p);\n"
+                          "cells.erase(p);\n")
+                  .empty());
+}
+
+TEST(LintPtrKeyIter, ValueOnlyPointersAreClean) {
+  // Pointer *values* are fine; only pointer *keys* order the iteration.
+  EXPECT_TRUE(lint_source("src/x.cpp",
+                          "std::map<std::uint64_t, Node*> nodes;\n"
+                          "for (auto& [k, n] : nodes) n->tick();\n")
+                  .empty());
+}
+
+// ---- detached-coro ---------------------------------------------------------
+
+TEST(LintDetachedCoro, FlagsCapturingCoroutineLambda) {
+  auto f = lint_source("src/x.cpp",
+                       "[this, n]() -> sim::Coro { co_await g(n); }();\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "detached-coro");
+}
+
+TEST(LintDetachedCoro, FlagsDefaultCaptures) {
+  EXPECT_EQ(
+      lint_source("src/x.cpp", "[&](int n) -> Coro { co_return; }(4);\n")
+          .size(),
+      1u);
+  EXPECT_EQ(
+      lint_source("src/x.cpp", "[=]() -> Coro { co_return; }();\n").size(),
+      1u);
+}
+
+TEST(LintDetachedCoro, EmptyCaptureWithParametersIsTheIdiom) {
+  // The repo's safe pattern: state enters the frame as parameters.
+  EXPECT_TRUE(lint_source("src/x.cpp",
+                          "[](Card* self, int n) -> sim::Coro {\n"
+                          "  co_await self->g(n);\n"
+                          "}(this, 4);\n")
+                  .empty());
+}
+
+TEST(LintDetachedCoro, NonCoroCapturingLambdaIsClean) {
+  EXPECT_TRUE(
+      lint_source("src/x.cpp", "auto f = [this]() -> int { return 1; };\n")
+          .empty());
+}
+
+// ---- suppressions ----------------------------------------------------------
+
+TEST(LintSuppress, SameLineAndLineAbove) {
+  EXPECT_TRUE(lint_source("src/sim/x.hpp",
+                          "std::function<void()> cb;  "
+                          "// apn-lint: allow(std-function)\n")
+                  .empty());
+  EXPECT_TRUE(lint_source("src/sim/x.hpp",
+                          "// apn-lint: allow(std-function)\n"
+                          "std::function<void()> cb;\n")
+                  .empty());
+}
+
+TEST(LintSuppress, MultipleRulesInOneComment) {
+  EXPECT_TRUE(lint_source("src/sim/x.hpp",
+                          "// apn-lint: allow(std-function, wall-clock)\n"
+                          "std::function<Time()> cb = [] { return "
+                          "std::time(nullptr); };\n")
+                  .empty());
+}
+
+TEST(LintSuppress, WrongRuleDoesNotSuppress) {
+  EXPECT_EQ(lint_source("src/sim/x.hpp",
+                        "// apn-lint: allow(wall-clock)\n"
+                        "std::function<void()> cb;\n")
+                .size(),
+            1u);
+}
+
+TEST(LintSuppress, DoesNotLeakPastTheNextLine) {
+  EXPECT_EQ(lint_source("src/sim/x.hpp",
+                        "// apn-lint: allow(std-function)\n"
+                        "int unrelated;\n"
+                        "std::function<void()> cb;\n")
+                .size(),
+            1u);
+}
+
+// ---- baseline --------------------------------------------------------------
+
+TEST(LintBaseline, ParseIgnoresCommentsAndBlanks) {
+  Baseline b = apn::lint::parse_baseline(
+      "# header\n\nsrc/a.cpp|wall-clock|2\nsrc/b.cpp|raw-rand|1\n");
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_EQ((b[{"src/a.cpp", "wall-clock"}]), 2);
+}
+
+TEST(LintBaseline, CoversUpToCountAndFlagsExcess) {
+  std::vector<Finding> fs = {
+      {"src/a.cpp", 1, "wall-clock", ""},
+      {"src/a.cpp", 5, "wall-clock", ""},
+      {"src/a.cpp", 9, "wall-clock", ""},
+  };
+  Baseline b = apn::lint::parse_baseline("src/a.cpp|wall-clock|2\n");
+  std::vector<std::string> stale;
+  auto fresh = apn::lint::apply_baseline(fs, b, &stale);
+  ASSERT_EQ(fresh.size(), 1u);  // third hit exceeds the grandfathered 2
+  EXPECT_EQ(fresh[0].line, 9);
+  EXPECT_TRUE(stale.empty());
+}
+
+TEST(LintBaseline, RatchetReportsStaleEntries) {
+  std::vector<Finding> fs;  // the tree got clean
+  Baseline b = apn::lint::parse_baseline("src/a.cpp|wall-clock|2\n");
+  std::vector<std::string> stale;
+  auto fresh = apn::lint::apply_baseline(fs, b, &stale);
+  EXPECT_TRUE(fresh.empty());
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_NE(stale[0].find("src/a.cpp|wall-clock"), std::string::npos);
+}
+
+TEST(LintBaseline, FormatRoundTrips) {
+  std::vector<Finding> fs = {
+      {"src/a.cpp", 1, "wall-clock", ""},
+      {"src/a.cpp", 5, "wall-clock", ""},
+      {"src/b.cpp", 2, "raw-rand", ""},
+  };
+  Baseline b = apn::lint::parse_baseline(apn::lint::format_baseline(fs));
+  EXPECT_EQ((b[{"src/a.cpp", "wall-clock"}]), 2);
+  EXPECT_EQ((b[{"src/b.cpp", "raw-rand"}]), 1);
+}
+
+}  // namespace

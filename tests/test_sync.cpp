@@ -81,7 +81,8 @@ TEST(Semaphore, LimitsConcurrency) {
   Simulator sim;
   Semaphore sem(sim, 2);
   int concurrent = 0, peak = 0, completed = 0;
-  auto worker = [&](Simulator& sim, Semaphore& sem) -> Coro {
+  auto worker = [](Simulator& sim, Semaphore& sem, int& concurrent,
+                   int& peak, int& completed) -> Coro {
     co_await sem.acquire();
     ++concurrent;
     peak = std::max(peak, concurrent);
@@ -90,7 +91,7 @@ TEST(Semaphore, LimitsConcurrency) {
     ++completed;
     sem.release();
   };
-  for (int i = 0; i < 6; ++i) worker(sim, sem);
+  for (int i = 0; i < 6; ++i) worker(sim, sem, concurrent, peak, completed);
   sim.run();
   EXPECT_EQ(peak, 2);
   EXPECT_EQ(completed, 6);

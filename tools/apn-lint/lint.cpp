@@ -1,0 +1,508 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+namespace apn::lint {
+
+namespace {
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Comment/string-stripped view of a source buffer: stripped characters
+/// become spaces (newlines survive), so offsets and line numbers match the
+/// original text. Suppressions are collected from comment text before it
+/// is blanked.
+struct Stripped {
+  std::string text;
+  std::vector<std::size_t> line_starts;          // offset of each line, 0-based
+  std::set<std::pair<int, std::string>> allows;  // (line, rule) suppressions
+
+  int line_of(std::size_t off) const {
+    auto it = std::upper_bound(line_starts.begin(), line_starts.end(), off);
+    return static_cast<int>(it - line_starts.begin());
+  }
+  bool allowed(int line, const std::string& rule) const {
+    // A suppression covers its own line and the line below it (the common
+    // "comment above the statement" placement).
+    return allows.count({line, rule}) != 0 ||
+           (line > 1 && allows.count({line - 1, rule}) != 0);
+  }
+};
+
+/// Parse `apn-lint: allow(a, b)` occurrences inside one comment.
+void collect_allows(const std::string& comment, int line, Stripped& out) {
+  const std::string kMarker = "apn-lint: allow(";
+  std::size_t pos = 0;
+  while ((pos = comment.find(kMarker, pos)) != std::string::npos) {
+    std::size_t start = pos + kMarker.size();
+    std::size_t end = comment.find(')', start);
+    if (end == std::string::npos) break;
+    std::string rules = comment.substr(start, end - start);
+    std::stringstream ss(rules);
+    std::string rule;
+    while (std::getline(ss, rule, ',')) {
+      rule.erase(0, rule.find_first_not_of(" \t"));
+      rule.erase(rule.find_last_not_of(" \t") + 1);
+      if (!rule.empty()) out.allows.insert({line, rule});
+    }
+    pos = end;
+  }
+}
+
+Stripped strip(const std::string& src) {
+  Stripped out;
+  out.text.assign(src.size(), ' ');
+  out.line_starts.push_back(0);
+  enum class St { kCode, kLineComment, kBlockComment, kString, kChar };
+  St st = St::kCode;
+  std::string comment;        // text of the comment being scanned
+  int comment_line = 0;       // line the current comment started on
+  int line = 1;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    const char n = i + 1 < src.size() ? src[i + 1] : '\0';
+    if (c == '\n') {
+      out.text[i] = '\n';
+      out.line_starts.push_back(i + 1);
+      ++line;
+    }
+    switch (st) {
+      case St::kCode:
+        if (c == '/' && n == '/') {
+          st = St::kLineComment;
+          comment.clear();
+          comment_line = line;
+          ++i;
+        } else if (c == '/' && n == '*') {
+          st = St::kBlockComment;
+          comment.clear();
+          comment_line = line;
+          ++i;
+        } else if (c == '"') {
+          st = St::kString;
+        } else if (c == '\'') {
+          st = St::kChar;
+        } else if (c != '\n') {
+          out.text[i] = c;
+        }
+        break;
+      case St::kLineComment:
+        if (c == '\n') {
+          collect_allows(comment, comment_line, out);
+          st = St::kCode;
+        } else {
+          comment.push_back(c);
+        }
+        break;
+      case St::kBlockComment:
+        if (c == '*' && n == '/') {
+          collect_allows(comment, comment_line, out);
+          st = St::kCode;
+          ++i;
+        } else {
+          comment.push_back(c);
+        }
+        break;
+      case St::kString:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          st = St::kCode;
+        }
+        break;
+      case St::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          st = St::kCode;
+        }
+        break;
+    }
+  }
+  if (st == St::kLineComment || st == St::kBlockComment)
+    collect_allows(comment, comment_line, out);
+  return out;
+}
+
+struct Ident {
+  std::size_t off;
+  std::string text;
+};
+
+std::vector<Ident> identifiers(const std::string& text) {
+  std::vector<Ident> out;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    if (ident_char(text[i]) &&
+        std::isdigit(static_cast<unsigned char>(text[i])) == 0) {
+      std::size_t start = i;
+      while (i < text.size() && ident_char(text[i])) ++i;
+      out.push_back({start, text.substr(start, i - start)});
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+/// First non-space character offset before `off`, or npos.
+std::size_t prev_nonspace(const std::string& t, std::size_t off) {
+  while (off > 0) {
+    --off;
+    if (t[off] != ' ' && t[off] != '\n' && t[off] != '\t') return off;
+  }
+  return std::string::npos;
+}
+
+std::size_t next_nonspace(const std::string& t, std::size_t off) {
+  while (off < t.size()) {
+    if (t[off] != ' ' && t[off] != '\n' && t[off] != '\t') return off;
+    ++off;
+  }
+  return std::string::npos;
+}
+
+/// True when the identifier ending right before `off` (skipping one "::")
+/// is `std` or the scope operator is global ("::time(...)").
+bool std_or_global_qualified(const std::string& t, std::size_t ident_off) {
+  std::size_t p = prev_nonspace(t, ident_off);
+  if (p == std::string::npos || t[p] != ':' || p == 0 || t[p - 1] != ':')
+    return true;  // unqualified call
+  std::size_t q = prev_nonspace(t, p - 1);
+  if (q == std::string::npos || !ident_char(t[q])) return true;  // "::time("
+  std::size_t qe = q + 1;
+  while (q > 0 && ident_char(t[q - 1])) --q;
+  return t.substr(q, qe - q) == "std";
+}
+
+bool member_access_before(const std::string& t, std::size_t ident_off) {
+  std::size_t p = prev_nonspace(t, ident_off);
+  if (p == std::string::npos) return false;
+  if (t[p] == '.') return true;
+  if (t[p] == '>' && p > 0 && t[p - 1] == '-') return true;
+  return false;
+}
+
+void add(std::vector<Finding>& out, const Stripped& s,
+         const std::string& path, std::size_t off, const char* rule,
+         std::string detail) {
+  int line = s.line_of(off);
+  if (s.allowed(line, rule)) return;
+  out.push_back(Finding{path, line, rule, std::move(detail)});
+}
+
+bool path_contains(const std::string& path, const char* needle) {
+  return path.find(needle) != std::string::npos;
+}
+
+// ---- rule: wall-clock ------------------------------------------------------
+
+void rule_wall_clock(const std::string& path, const Stripped& s,
+                     const std::vector<Ident>& ids,
+                     std::vector<Finding>& out) {
+  static const std::set<std::string> kBanned = {
+      "system_clock",     "steady_clock", "high_resolution_clock",
+      "gettimeofday",     "clock_gettime", "timespec_get",
+      "localtime",        "gmtime",        "mktime",
+      "asctime",          "strftime",      "ftime",
+  };
+  static const std::set<std::string> kCallForm = {"time", "clock"};
+  for (const Ident& id : ids) {
+    if (kBanned.count(id.text) != 0) {
+      add(out, s, path, id.off, "wall-clock",
+          "'" + id.text + "' reads host time; use sim::Simulator::now()");
+      continue;
+    }
+    if (kCallForm.count(id.text) != 0) {
+      std::size_t after = next_nonspace(s.text, id.off + id.text.size());
+      if (after == std::string::npos || s.text[after] != '(') continue;
+      if (member_access_before(s.text, id.off)) continue;
+      if (!std_or_global_qualified(s.text, id.off)) continue;
+      add(out, s, path, id.off, "wall-clock",
+          "'" + id.text + "()' reads host time; use sim::Simulator::now()");
+    }
+  }
+}
+
+// ---- rule: raw-rand --------------------------------------------------------
+
+void rule_raw_rand(const std::string& path, const Stripped& s,
+                   const std::vector<Ident>& ids, std::vector<Finding>& out) {
+  static const std::set<std::string> kBanned = {
+      "rand",       "srand",      "rand_r",     "random",
+      "srandom",    "drand48",    "lrand48",    "mrand48",
+      "srand48",    "random_device", "mt19937", "mt19937_64",
+      "minstd_rand", "minstd_rand0", "default_random_engine",
+      "ranlux24",   "ranlux48",
+  };
+  for (const Ident& id : ids) {
+    if (kBanned.count(id.text) == 0) continue;
+    if (member_access_before(s.text, id.off)) continue;  // x.random(...) etc.
+    add(out, s, path, id.off, "raw-rand",
+        "'" + id.text + "' is platform entropy; use apn::Rng (common/rng.hpp)");
+  }
+}
+
+// ---- rule: std-function ----------------------------------------------------
+
+void rule_std_function(const std::string& path, const Stripped& s,
+                       const std::vector<Ident>& ids,
+                       std::vector<Finding>& out) {
+  for (std::size_t i = 0; i + 1 < ids.size(); ++i) {
+    if (ids[i].text != "std" || ids[i + 1].text != "function") continue;
+    std::size_t between = prev_nonspace(s.text, ids[i + 1].off);
+    if (between == std::string::npos || s.text[between] != ':') continue;
+    add(out, s, path, ids[i].off, "std-function",
+        "std::function in a hot path; use apn::UniqueFn (common/fn.hpp)");
+  }
+}
+
+// ---- rule: ptr-key-iter ----------------------------------------------------
+
+/// Matching close of the template argument list opened at `open` ('<').
+std::size_t match_template(const std::string& t, std::size_t open) {
+  int depth = 0;
+  std::size_t paren = 0;
+  for (std::size_t i = open; i < t.size(); ++i) {
+    const char c = t[i];
+    if (c == '(') ++paren;
+    else if (c == ')' && paren > 0) --paren;
+    if (paren > 0) continue;
+    if (c == '<') ++depth;
+    else if (c == '>') {
+      --depth;
+      if (depth == 0) return i;
+    } else if (c == ';' || c == '{')
+      return std::string::npos;  // comparison operator, not a template
+  }
+  return std::string::npos;
+}
+
+void rule_ptr_key_iter(const std::string& path, const Stripped& s,
+                       const std::vector<Ident>& ids,
+                       std::vector<Finding>& out) {
+  static const std::set<std::string> kAssoc = {"map", "unordered_map", "set",
+                                               "unordered_set"};
+  // Pass 1: pointer-keyed associative container variable names.
+  std::set<std::string> suspects;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (kAssoc.count(ids[i].text) == 0) continue;
+    std::size_t lt = next_nonspace(s.text, ids[i].off + ids[i].text.size());
+    if (lt == std::string::npos || s.text[lt] != '<') continue;
+    std::size_t gt = match_template(s.text, lt);
+    if (gt == std::string::npos) continue;
+    // Key type: first depth-0 comma (maps) or the whole list (sets).
+    std::size_t key_end = gt;
+    int depth = 0;
+    for (std::size_t j = lt + 1; j < gt; ++j) {
+      if (s.text[j] == '<') ++depth;
+      else if (s.text[j] == '>') --depth;
+      else if (s.text[j] == ',' && depth == 0) {
+        key_end = j;
+        break;
+      }
+    }
+    std::string key = s.text.substr(lt + 1, key_end - lt - 1);
+    if (key.find('*') == std::string::npos) continue;
+    // Declared variable name: the identifier right after the '>'.
+    std::size_t name_off = next_nonspace(s.text, gt + 1);
+    if (name_off == std::string::npos || !ident_char(s.text[name_off]))
+      continue;
+    std::size_t e = name_off;
+    while (e < s.text.size() && ident_char(s.text[e])) ++e;
+    suspects.insert(s.text.substr(name_off, e - name_off));
+  }
+  if (suspects.empty()) return;
+  // Pass 2: iteration over a suspect — range-for (`: name)`) or
+  // `name.begin(` / `name.cbegin(`.
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const Ident& id = ids[i];
+    if (suspects.count(id.text) == 0) continue;
+    std::size_t before = prev_nonspace(s.text, id.off);
+    if (before != std::string::npos && s.text[before] == ':' &&
+        (before == 0 || s.text[before - 1] != ':')) {
+      add(out, s, path, id.off, "ptr-key-iter",
+          "range-for over pointer-keyed container '" + id.text +
+              "': iteration order is ASLR-dependent");
+      continue;
+    }
+    std::size_t dot = next_nonspace(s.text, id.off + id.text.size());
+    if (dot == std::string::npos || s.text[dot] != '.') continue;
+    std::size_t m = next_nonspace(s.text, dot + 1);
+    if (m == std::string::npos) continue;
+    std::size_t me = m;
+    while (me < s.text.size() && ident_char(s.text[me])) ++me;
+    std::string method = s.text.substr(m, me - m);
+    if (method == "begin" || method == "cbegin" || method == "rbegin") {
+      add(out, s, path, id.off, "ptr-key-iter",
+          "iteration over pointer-keyed container '" + id.text +
+              "': iteration order is ASLR-dependent");
+    }
+  }
+}
+
+// ---- rule: detached-coro ---------------------------------------------------
+
+/// Walk backwards from `off` to the matching `open` for `close` brackets.
+std::size_t match_back(const std::string& t, std::size_t off, char open,
+                       char close) {
+  int depth = 0;
+  for (std::size_t i = off + 1; i-- > 0;) {
+    if (t[i] == close) ++depth;
+    else if (t[i] == open) {
+      --depth;
+      if (depth == 0) return i;
+    }
+  }
+  return std::string::npos;
+}
+
+void rule_detached_coro(const std::string& path, const Stripped& s,
+                        const std::vector<Ident>& ids,
+                        std::vector<Finding>& out) {
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (ids[i].text != "Coro") continue;
+    // Must be a trailing return type: "-> Coro" or "-> ns::Coro".
+    std::size_t p = prev_nonspace(s.text, ids[i].off);
+    // Skip "ns::" qualifier(s) leftward: ':'':' then the namespace ident.
+    while (p != std::string::npos && s.text[p] == ':' && p > 0 &&
+           s.text[p - 1] == ':') {
+      std::size_t q = prev_nonspace(s.text, p - 1);
+      if (q == std::string::npos || !ident_char(s.text[q])) {
+        p = std::string::npos;
+        break;
+      }
+      while (q > 0 && ident_char(s.text[q - 1])) --q;
+      p = prev_nonspace(s.text, q);
+    }
+    if (p == std::string::npos || s.text[p] != '>' || p == 0 ||
+        s.text[p - 1] != '-')
+      continue;
+    // Before the arrow: the ')' closing the lambda parameter list.
+    std::size_t rp = prev_nonspace(s.text, p - 1);
+    if (rp == std::string::npos || s.text[rp] != ')') continue;
+    std::size_t lp = match_back(s.text, rp, '(', ')');
+    if (lp == std::string::npos) continue;
+    // Before the parameter list: the ']' closing a capture list (if this
+    // is not a lambda, there is none and the finding does not apply).
+    std::size_t rb = prev_nonspace(s.text, lp);
+    if (rb == std::string::npos || s.text[rb] != ']') continue;
+    std::size_t lb = match_back(s.text, rb, '[', ']');
+    if (lb == std::string::npos) continue;
+    std::string captures = s.text.substr(lb + 1, rb - lb - 1);
+    captures.erase(std::remove_if(captures.begin(), captures.end(),
+                                  [](char c) {
+                                    return c == ' ' || c == '\n' || c == '\t';
+                                  }),
+                   captures.end());
+    if (captures.empty()) continue;  // repo idiom: params own the state
+    add(out, s, path, lb, "detached-coro",
+        "capturing lambda returning a coroutine: captures die with the "
+        "lambda temporary while the frame lives on; pass state as "
+        "parameters instead");
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> lint_source(const std::string& path,
+                                 const std::string& source) {
+  std::vector<Finding> out;
+  Stripped s = strip(source);
+  std::vector<Ident> ids = identifiers(s.text);
+
+  const bool rng_exempt = path_contains(path, "common/rng");
+  if (!rng_exempt) {
+    rule_wall_clock(path, s, ids, out);
+    rule_raw_rand(path, s, ids, out);
+  }
+  if (path_contains(path, "src/sim") || path_contains(path, "src/core") ||
+      path_contains(path, "src/pcie")) {
+    rule_std_function(path, s, ids, out);
+  }
+  rule_ptr_key_iter(path, s, ids, out);
+  rule_detached_coro(path, s, ids, out);
+
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
+  });
+  return out;
+}
+
+bool lint_file(const std::string& path, std::vector<Finding>& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::string src;
+  char buf[65536];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) src.append(buf, n);
+  std::fclose(f);
+  std::vector<Finding> found = lint_source(path, src);
+  out.insert(out.end(), found.begin(), found.end());
+  return true;
+}
+
+Baseline parse_baseline(const std::string& text) {
+  Baseline out;
+  std::stringstream ss(text);
+  std::string line;
+  while (std::getline(ss, line)) {
+    std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::size_t a = line.find('|');
+    if (a == std::string::npos) continue;
+    std::size_t b = line.find('|', a + 1);
+    if (b == std::string::npos) continue;
+    std::string path = line.substr(0, a);
+    std::string rule = line.substr(a + 1, b - a - 1);
+    int count = std::atoi(line.c_str() + b + 1);
+    if (!path.empty() && !rule.empty() && count > 0)
+      out[{path, rule}] += count;
+  }
+  return out;
+}
+
+std::string format_baseline(const std::vector<Finding>& findings) {
+  Baseline counts;
+  for (const Finding& f : findings) counts[{f.path, f.rule}] += 1;
+  std::string out =
+      "# apn-lint baseline: grandfathered findings (path|rule|count).\n"
+      "# Counts may only decrease; regenerate with --update-baseline.\n";
+  for (const auto& [key, count] : counts) {
+    out += key.first + "|" + key.second + "|" + std::to_string(count) + "\n";
+  }
+  return out;
+}
+
+std::vector<Finding> apply_baseline(const std::vector<Finding>& findings,
+                                    const Baseline& baseline,
+                                    std::vector<std::string>* stale) {
+  Baseline budget = baseline;
+  std::vector<Finding> fresh;
+  for (const Finding& f : findings) {
+    auto it = budget.find({f.path, f.rule});
+    if (it != budget.end() && it->second > 0) {
+      --it->second;
+    } else {
+      fresh.push_back(f);
+    }
+  }
+  if (stale != nullptr) {
+    for (const auto& [key, left] : budget) {
+      if (left > 0)
+        stale->push_back(key.first + "|" + key.second + " (" +
+                         std::to_string(left) + " stale)");
+    }
+  }
+  return fresh;
+}
+
+}  // namespace apn::lint

@@ -1,0 +1,79 @@
+// apn-lint: the repo's custom static-analysis pass.
+//
+// The simulator's determinism contract cannot be expressed in the type
+// system: nothing stops a model file from reading the wall clock, pulling
+// entropy from the platform PRNG, iterating a pointer-keyed map into a
+// timing decision, or detaching a capturing coroutine lambda whose frame
+// outlives its captures. Each of those compiles, works on one machine, and
+// breaks bit-exact reproduction (or worse, memory) somewhere else. This
+// tool scans the token stream — no LLVM / libclang dependency, so it runs
+// in every CI container — and enforces the rules the simulator relies on:
+//
+//  * wall-clock   — std::chrono::{system,steady,high_resolution}_clock,
+//                   time()/clock()/gettimeofday()/clock_gettime() and
+//                   friends. Simulation time must come from sim::Simulator;
+//                   host timing belongs only in src/common/rng-exempt
+//                   measurement code.
+//  * raw-rand     — rand()/srand()/random()/drand48()/std::random_device/
+//                   std::mt19937 etc. All randomness must flow through the
+//                   seedable, bit-stable apn::Rng (src/common/rng.hpp).
+//  * std-function — std::function in the hot paths (src/sim, src/core,
+//                   src/pcie). Use apn::UniqueFn: no copyable-callable
+//                   boxing, fits the event engine's inline storage.
+//  * ptr-key-iter — iterating a pointer-keyed map/set. Pointer order is
+//                   ASLR-dependent; iteration feeding any model decision
+//                   makes runs irreproducible. Pointer-keyed lookup is fine.
+//  * detached-coro— a *capturing* lambda returning a coroutine type. The
+//                   lambda temporary dies at the call, the coroutine frame
+//                   keeps running: captures dangle. The repo idiom is an
+//                   empty capture list with everything passed as parameters
+//                   (parameters are copied into the frame).
+//
+// Suppression: a comment `// apn-lint: allow(<rule>[, <rule>...])` on the
+// offending line or the line directly above it. The baseline file
+// (tools/apn-lint/baseline.txt, `path|rule|count` lines) grandfathers
+// pre-existing findings and ratchets: counts may only decrease.
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace apn::lint {
+
+struct Finding {
+  std::string path;
+  int line = 0;        ///< 1-based
+  std::string rule;    ///< rule slug, e.g. "wall-clock"
+  std::string detail;  ///< human-oriented description of the hit
+};
+
+/// Lint one translation unit given as a string. `path` scopes the
+/// directory-sensitive rules (std-function hot paths, rng exemption) and
+/// is echoed into the findings; it does not need to exist on disk.
+std::vector<Finding> lint_source(const std::string& path,
+                                 const std::string& source);
+
+/// Lint a file on disk. Returns false (and leaves `out` untouched) if the
+/// file cannot be read.
+bool lint_file(const std::string& path, std::vector<Finding>& out);
+
+/// Baseline: (path, rule) -> grandfathered finding count.
+using Baseline = std::map<std::pair<std::string, std::string>, int>;
+
+/// Parse `path|rule|count` lines; '#' starts a comment, blanks ignored.
+Baseline parse_baseline(const std::string& text);
+
+/// Serialize findings as a baseline file body (sorted, deduped, counted).
+std::string format_baseline(const std::vector<Finding>& findings);
+
+/// Split findings against a baseline. Returns the findings NOT covered
+/// (new findings, or hits beyond a grandfathered count). `stale` receives
+/// baseline entries whose count exceeds what the scan found — the ratchet
+/// asks for those to be lowered via --update-baseline.
+std::vector<Finding> apply_baseline(const std::vector<Finding>& findings,
+                                    const Baseline& baseline,
+                                    std::vector<std::string>* stale);
+
+}  // namespace apn::lint

@@ -1,0 +1,136 @@
+// apn-lint CLI. See lint.hpp for the rule catalogue.
+//
+// Usage:
+//   apn-lint [--baseline=FILE] [--update-baseline] <path>...
+//
+// Paths may be files or directories (directories are walked recursively for
+// C/C++ sources). Exit codes: 0 clean (stale baseline entries only warn),
+// 1 findings not covered by the baseline, 2 usage or I/O error.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace fs = std::filesystem;
+using apn::lint::Finding;
+
+namespace {
+
+bool is_source(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".cxx" || ext == ".hpp" ||
+         ext == ".h" || ext == ".hh";
+}
+
+void collect(const fs::path& root, std::vector<std::string>& files) {
+  if (fs::is_directory(root)) {
+    for (const auto& e : fs::recursive_directory_iterator(root)) {
+      if (e.is_regular_file() && is_source(e.path()))
+        files.push_back(e.path().generic_string());
+    }
+  } else {
+    files.push_back(root.generic_string());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path;
+  bool update_baseline = false;
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--baseline=", 0) == 0) {
+      baseline_path = arg.substr(std::string("--baseline=").size());
+    } else if (arg == "--update-baseline") {
+      update_baseline = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "apn-lint: unknown option '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) {
+    std::fprintf(stderr,
+                 "usage: apn-lint [--baseline=FILE] [--update-baseline] "
+                 "<path>...\n");
+    return 2;
+  }
+  if (update_baseline && baseline_path.empty()) {
+    std::fprintf(stderr, "apn-lint: --update-baseline needs --baseline=\n");
+    return 2;
+  }
+
+  std::vector<std::string> files;
+  for (const std::string& r : roots) {
+    if (!fs::exists(r)) {
+      std::fprintf(stderr, "apn-lint: no such path: %s\n", r.c_str());
+      return 2;
+    }
+    collect(r, files);
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Finding> findings;
+  for (const std::string& f : files) {
+    if (!apn::lint::lint_file(f, findings)) {
+      std::fprintf(stderr, "apn-lint: cannot read %s\n", f.c_str());
+      return 2;
+    }
+  }
+
+  if (update_baseline) {
+    std::ofstream out(baseline_path);
+    if (!out) {
+      std::fprintf(stderr, "apn-lint: cannot write %s\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    out << apn::lint::format_baseline(findings);
+    std::fprintf(stderr, "apn-lint: baseline updated (%zu findings) -> %s\n",
+                 findings.size(), baseline_path.c_str());
+    return 0;
+  }
+
+  apn::lint::Baseline baseline;
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    if (!in) {
+      std::fprintf(stderr, "apn-lint: cannot read baseline %s\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    baseline = apn::lint::parse_baseline(ss.str());
+  }
+
+  std::vector<std::string> stale;
+  std::vector<Finding> fresh =
+      apn::lint::apply_baseline(findings, baseline, &stale);
+
+  for (const Finding& f : fresh) {
+    std::fprintf(stderr, "%s:%d: [%s] %s\n", f.path.c_str(), f.line,
+                 f.rule.c_str(), f.detail.c_str());
+  }
+  for (const std::string& s : stale) {
+    std::fprintf(stderr,
+                 "apn-lint: warning: baseline entry exceeds current findings "
+                 "(ratchet down): %s\n",
+                 s.c_str());
+  }
+  if (!fresh.empty()) {
+    std::fprintf(stderr, "apn-lint: %zu finding(s) in %zu file(s)\n",
+                 fresh.size(), files.size());
+    return 1;
+  }
+  std::fprintf(stderr, "apn-lint: OK (%zu files)\n", files.size());
+  return 0;
+}
