@@ -61,7 +61,7 @@ double bidir_bw(core::MemType type, std::uint64_t size, int count) {
   }
   sim.run();
   Time end = std::max(sh->t_end[0], sh->t_end[1]);
-  return units::bandwidth_MBps(2 * size * static_cast<std::uint64_t>(count),
+  return units::bandwidth_MBps(Bytes(2 * size * static_cast<std::uint64_t>(count)),
                                end - sh->t0);
 }
 

@@ -84,9 +84,9 @@ int main(int argc, char** argv) {
     m.head_latency_us = units::to_us(first_resp - first_req);
     m.stream_us_per_mb = units::to_us(last_data - first_data) *
                          (1048576.0 / double(data_bytes));
-    m.data_rate = units::bandwidth_MBps(data_bytes, last_data - first_data);
+    m.data_rate = units::bandwidth_MBps(Bytes(data_bytes), last_data - first_data);
     m.proto_rate = units::bandwidth_MBps(
-        req_count * 32 /* descriptor bytes on the wire */,
+        Bytes(req_count * 32) /* descriptor bytes on the wire */,
         last_req - first_req);
     m.req_count = req_count;
     m.filled = true;

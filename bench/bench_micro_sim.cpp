@@ -76,9 +76,9 @@ BENCHMARK(BM_CoroutinePingPong)->Arg(10000);
 void BM_ChannelStream(benchmark::State& state) {
   for (auto _ : state) {
     sim::Simulator sim;
-    sim::Channel ch(sim, sim::ChannelParams{4e9, 0, units::ns(200)});
+    sim::Channel ch(sim, sim::ChannelParams{Rate(4e9), 0, units::ns(200)});
     int delivered = 0;
-    for (int i = 0; i < 10000; ++i) ch.send(4096, [&] { ++delivered; });
+    for (int i = 0; i < 10000; ++i) ch.send(Bytes(4096), [&] { ++delivered; });
     sim.run();
     benchmark::DoNotOptimize(delivered);
   }

@@ -41,7 +41,7 @@ double bar1_read_bw(const gpu::GpuArch& arch) {
   ApenetParams p;
   p.flush_at_switch = true;
   Cluster c(sim, core::TorusShape{1, 1, 1}, cfg, p);
-  int count = arch.bar1_read_rate < 1e9 ? 4 : 16;  // Fermi BAR1 is slow
+  int count = arch.bar1_read_rate < Rate(1e9) ? 4 : 16;  // Fermi BAR1 is slow
   return cluster::loopback_bandwidth(c, 0, MemType::kGpuBar1, 1 << 20,
                                      count)
       .mbps;

@@ -122,7 +122,7 @@ int main(int argc, char** argv) {
       "\n%llu bytes of GPU data streamed into the card's landing zone in "
       "%.1f us -> %.0f MB/s P2P read bandwidth (Fermi ceiling ~1.5 GB/s).\n",
       static_cast<unsigned long long>(data), units::to_us(last - first),
-      units::bandwidth_MBps(data, last - first));
+      units::bandwidth_MBps(Bytes(data), last - first));
 
   if (!trace_path.empty()) {
     if (local_sink.write_chrome_json(trace_path))

@@ -58,7 +58,7 @@ int main() {
                 "%.0f MB/s end to end\n",
                 units::to_us(sim.now()), ev.bytes,
                 core::coord_str(ev.peer).c_str(),
-                units::bandwidth_MBps(ev.bytes, sim.now() - t0));
+                units::bandwidth_MBps(Bytes(ev.bytes), sim.now() - t0));
   }(cluster.get(), src, dst, kSize);
 
   sim.run();

@@ -269,7 +269,7 @@ sim::Coro BfsRun::rank_main(int rank) {
     }
     co_await stream.launch_kernel(
         arch.kernel_launch_overhead +
-        units::transfer_time(edges_scanned,
+        units::transfer_time(Bytes(edges_scanned),
                              arch.edge_scan_rate));
     st.compute_time += sim.now() - tk0;
 
@@ -320,7 +320,7 @@ sim::Coro BfsRun::rank_main(int rank) {
         Time ti0 = sim.now();
         co_await stream.launch_kernel(
             arch.kernel_launch_overhead +
-            units::transfer_time(inbound, arch.edge_scan_rate));
+            units::transfer_time(Bytes(inbound), arch.edge_scan_rate));
         st.compute_time += sim.now() - ti0;
       }
     }

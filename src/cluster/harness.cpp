@@ -82,7 +82,7 @@ BwResult loopback_bandwidth(Cluster& c, int node, core::MemType src_type,
   BwResult r;
   r.bytes = size * static_cast<std::uint64_t>(count);
   r.elapsed = sh->t_end - sh->t0;
-  r.mbps = units::bandwidth_MBps(r.bytes, r.elapsed);
+  r.mbps = units::bandwidth_MBps(Bytes(r.bytes), r.elapsed);
   record_measurement("loopback_bw", sh->t0, sh->t_end, r.mbps, "mbps");
   return r;
 }
@@ -151,7 +151,7 @@ BwResult twonode_bandwidth(Cluster& c, std::uint64_t size, int count,
   BwResult r;
   r.bytes = size * static_cast<std::uint64_t>(count);
   r.elapsed = sh->t_end - sh->t0;
-  r.mbps = units::bandwidth_MBps(r.bytes, r.elapsed);
+  r.mbps = units::bandwidth_MBps(Bytes(r.bytes), r.elapsed);
   record_measurement("twonode_bw", sh->t0, sh->t_end, r.mbps, "mbps");
   return r;
 }
@@ -330,7 +330,7 @@ BwResult mpi_bandwidth(Cluster& c, std::uint64_t size, int count,
   BwResult r;
   r.bytes = size * static_cast<std::uint64_t>(count);
   r.elapsed = sh->t_end - sh->t0;
-  r.mbps = units::bandwidth_MBps(r.bytes, r.elapsed);
+  r.mbps = units::bandwidth_MBps(Bytes(r.bytes), r.elapsed);
   return r;
 }
 

@@ -1,9 +1,19 @@
-// Unit helpers for the apenetpp simulation: time in integer picoseconds,
+// Unit types for the apenetpp simulation: time in integer picoseconds,
 // sizes in bytes, rates in bytes/second.
 //
 // All simulated time is kept as int64_t picoseconds (`apn::Time`) so that
 // event ordering is exact and runs are bit-reproducible. 2^63 ps ~ 106 days
 // of simulated time, far beyond any experiment here.
+//
+// Byte counts and rates are *strong types* (`apn::Bytes`, `apn::Rate`):
+// construction and extraction are explicit, and only dimensionally valid
+// arithmetic compiles (Bytes +- Bytes, Bytes * scalar, Rate * scalar,
+// Bytes / Rate -> Time via units::transfer_time). The quantities the
+// paper's results hinge on — TLP byte counts, link rates, bandwidth
+// curves — therefore cannot be silently mixed with picosecond values or
+// unscaled literals; the residual patterns the type system cannot reach
+// (e.g. raw integers flowing into Time arithmetic) are enforced by the
+// `unit-mix` rule of tools/apn-lint, from which this file is exempt.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +22,79 @@ namespace apn {
 
 /// Simulated time in picoseconds.
 using Time = std::int64_t;
+
+/// A byte count. Explicit construction from / extraction to a raw
+/// integer; arithmetic only where dimensionally meaningful. The unscaled
+/// value is the count itself (no SI prefix), so `Bytes(4096)` is 4 KiB.
+class Bytes {
+ public:
+  constexpr Bytes() = default;
+  constexpr explicit Bytes(std::uint64_t n) : n_(n) {}
+
+  constexpr std::uint64_t count() const { return n_; }
+
+  constexpr Bytes& operator+=(Bytes o) {
+    n_ += o.n_;
+    return *this;
+  }
+  constexpr Bytes& operator-=(Bytes o) {
+    n_ -= o.n_;
+    return *this;
+  }
+
+  friend constexpr Bytes operator+(Bytes a, Bytes b) {
+    return Bytes(a.n_ + b.n_);
+  }
+  friend constexpr Bytes operator-(Bytes a, Bytes b) {
+    return Bytes(a.n_ - b.n_);
+  }
+  friend constexpr Bytes operator*(Bytes a, std::uint64_t k) {
+    return Bytes(a.n_ * k);
+  }
+  friend constexpr Bytes operator*(std::uint64_t k, Bytes a) {
+    return Bytes(k * a.n_);
+  }
+  friend constexpr Bytes operator/(Bytes a, std::uint64_t k) {
+    return Bytes(a.n_ / k);
+  }
+  /// Ratio of two byte counts is a dimensionless integer (TLP counts,
+  /// chunk counts).
+  friend constexpr std::uint64_t operator/(Bytes a, Bytes b) {
+    return a.n_ / b.n_;
+  }
+  friend constexpr Bytes operator%(Bytes a, Bytes b) {
+    return Bytes(a.n_ % b.n_);
+  }
+
+  constexpr auto operator<=>(const Bytes&) const = default;
+
+ private:
+  std::uint64_t n_ = 0;
+};
+
+/// A data rate in bytes per second. Stored as double (rates are model
+/// parameters, never accumulated in inner loops); conversion to per-byte
+/// serialization time happens once per transfer via units::transfer_time.
+class Rate {
+ public:
+  constexpr Rate() = default;
+  constexpr explicit Rate(double bytes_per_sec) : v_(bytes_per_sec) {}
+
+  constexpr double bytes_per_sec() const { return v_; }
+
+  /// Derating / scaling (ECC factors, lane counts) keeps the dimension.
+  friend constexpr Rate operator*(Rate r, double k) { return Rate(r.v_ * k); }
+  friend constexpr Rate operator*(double k, Rate r) { return Rate(k * r.v_); }
+  friend constexpr Rate operator/(Rate r, double k) { return Rate(r.v_ / k); }
+  /// Ratio of two rates is a dimensionless factor (speedups, utilization).
+  friend constexpr double operator/(Rate a, Rate b) { return a.v_ / b.v_; }
+  friend constexpr Rate operator+(Rate a, Rate b) { return Rate(a.v_ + b.v_); }
+
+  constexpr auto operator<=>(const Rate&) const = default;
+
+ private:
+  double v_ = 0.0;
+};
 
 namespace units {
 
@@ -28,33 +111,32 @@ constexpr double to_ms(Time t) { return static_cast<double>(t) / 1e9; }
 constexpr double to_sec(Time t) { return static_cast<double>(t) / 1e12; }
 
 // --- sizes ---------------------------------------------------------------
-constexpr std::uint64_t KiB(std::uint64_t v) { return v * 1024ull; }
-constexpr std::uint64_t MiB(std::uint64_t v) { return v * 1024ull * 1024ull; }
-constexpr std::uint64_t GiB(std::uint64_t v) {
-  return v * 1024ull * 1024ull * 1024ull;
+constexpr Bytes KiB(std::uint64_t v) { return Bytes(v * 1024ull); }
+constexpr Bytes MiB(std::uint64_t v) { return Bytes(v * 1024ull * 1024ull); }
+constexpr Bytes GiB(std::uint64_t v) {
+  return Bytes(v * 1024ull * 1024ull * 1024ull);
 }
 
 // --- rates ---------------------------------------------------------------
-// Rates are double bytes/second; conversion to per-byte serialization time
-// happens once at model construction, not in inner loops.
-constexpr double MBps(double v) { return v * 1e6; }
-constexpr double GBps(double v) { return v * 1e9; }
+constexpr Rate MBps(double v) { return Rate(v * 1e6); }
+constexpr Rate GBps(double v) { return Rate(v * 1e9); }
 /// Link signalling rate quoted in Gbit/s (e.g. "28 Gbps" torus links).
-constexpr double Gbps(double v) { return v * 1e9 / 8.0; }
+constexpr Rate Gbps(double v) { return Rate(v * 1e9 / 8.0); }
 
-/// Serialization time for `bytes` at `bytes_per_sec`, rounded up to 1 ps.
-constexpr Time transfer_time(std::uint64_t bytes, double bytes_per_sec) {
-  if (bytes == 0) return 0;
-  double t = static_cast<double>(bytes) / bytes_per_sec * 1e12;
+/// Serialization time for `bytes` at `rate`, rounded up to 1 ps.
+constexpr Time transfer_time(Bytes bytes, Rate rate) {
+  if (bytes.count() == 0) return 0;
+  double t =
+      static_cast<double>(bytes.count()) / rate.bytes_per_sec() * 1e12;
   Time r = static_cast<Time>(t);
   return r > 0 ? r : 1;
 }
 
 /// Achieved bandwidth in MB/s for `bytes` moved in `elapsed` picoseconds.
-constexpr double bandwidth_MBps(std::uint64_t bytes, Time elapsed) {
+constexpr double bandwidth_MBps(Bytes bytes, Time elapsed) {
   if (elapsed <= 0) return 0.0;
-  return static_cast<double>(bytes) / (static_cast<double>(elapsed) * 1e-12) /
-         1e6;
+  return static_cast<double>(bytes.count()) /
+         (static_cast<double>(elapsed) * 1e-12) / 1e6;
 }
 
 }  // namespace units

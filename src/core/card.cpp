@@ -248,12 +248,12 @@ void ApenetCard::inject(ApPacket pkt, UniqueFn<void()> on_sent) {
         return;
       }
       const Time t0 = sim_->now();
-      const std::uint64_t wire = sp->wire_bytes();
+      const Bytes wire = sp->wire_bytes();
       l.channel->send(wire, std::move(deliver),
                       [this, &lt, t0, wire,
                        on_sent = std::move(on_sent)]() mutable {
                         lt.span("torus", "pkt", t0, sim_->now(),
-                                {{"wire_bytes", wire}});
+                                {{"wire_bytes", wire.count()}});
                         if (on_sent) on_sent();
                       });
     });

@@ -21,7 +21,7 @@ void ApenetNetwork::wire() {
       if (nb == me) continue;  // dimension of size 1: port unused
       ApenetCard& peer = *cards_[static_cast<std::size_t>(shape_.index(nb))];
       sim::ChannelParams cp;
-      cp.bytes_per_sec = c.params().torus_bytes_per_sec();
+      cp.rate = c.params().torus_rate();
       cp.per_send_overhead = 0;  // header charged via packet wire_bytes
       cp.latency = c.params().torus_link_latency;
       channels_.push_back(std::make_unique<sim::Channel>(*sim_, cp));

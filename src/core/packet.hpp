@@ -6,6 +6,7 @@
 
 #include <cstdint>
 
+#include "common/units.hpp"
 #include "core/torus.hpp"
 #include "pcie/fabric.hpp"
 
@@ -29,8 +30,8 @@ struct ApPacket {
   PacketHeader hdr;
   pcie::Payload payload;
 
-  std::uint64_t wire_bytes() const {
-    return payload.bytes + kPacketWireOverhead;
+  Bytes wire_bytes() const {
+    return Bytes(payload.bytes + kPacketWireOverhead);
   }
 };
 

@@ -79,9 +79,7 @@ struct ApenetParams {
   /// injection FIFOs", used by the paper for pure memory-read bandwidth).
   bool flush_at_switch = false;
 
-  double torus_bytes_per_sec() const {
-    return units::Gbps(torus_link_gbps);
-  }
+  Rate torus_rate() const { return units::Gbps(torus_link_gbps); }
 };
 
 }  // namespace apn::core

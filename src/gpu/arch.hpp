@@ -20,20 +20,20 @@ struct GpuArch {
   std::uint64_t mem_bytes = 0;
 
   // --- GPUDirect peer-to-peer protocol engine ---------------------------
-  double p2p_stream_rate = 1.55e9;     ///< response streaming rate (B/s)
+  Rate p2p_stream_rate{1.55e9};        ///< response streaming rate (B/s)
   Time p2p_head_latency = units::us(1.8);  ///< request -> first data
   int p2p_max_outstanding = 256;       ///< request mailbox queue depth
 
   // --- BAR1 aperture ------------------------------------------------------
-  double bar1_read_rate = 150e6;       ///< completion generation rate
-  double bar1_write_rate = 3.0e9;
+  Rate bar1_read_rate{150e6};          ///< completion generation rate
+  Rate bar1_write_rate{3.0e9};
   Time bar1_read_latency = units::us(1.0);
   std::uint64_t bar1_aperture_bytes = 256ull << 20;
   Time bar1_map_cost = units::ms(1.0);  ///< full GPU reconfiguration
 
   // --- copy (DMA) engines ---------------------------------------------------
-  double dma_d2h_rate = 5.5e9;  ///< cudaMemcpy device-to-host
-  double dma_h2d_rate = 5.7e9;  ///< cudaMemcpy host-to-device
+  Rate dma_d2h_rate{5.5e9};  ///< cudaMemcpy device-to-host
+  Rate dma_h2d_rate{5.7e9};  ///< cudaMemcpy host-to-device
   Time dma_setup = units::us(1.2);  ///< per-transfer engine setup
 
   // --- compute timing model -------------------------------------------------
@@ -43,16 +43,16 @@ struct GpuArch {
   /// BFS edge-scan rate: calibrated so one GPU reaches ~6.7e7 TEPS on the
   /// scale-20 graph including kernel launch overheads (paper Table IV);
   /// TEPS ~ rate/2 because every undirected edge is scanned twice.
-  double edge_scan_rate = 1.36e8;
+  Rate edge_scan_rate{1.36e8};
   Time kernel_launch_overhead = units::us(6.0);
 
   bool ecc_enabled = false;
   double ecc_bw_factor = 0.85;  ///< streaming-rate derating with ECC on
 
-  double effective_p2p_rate() const {
+  Rate effective_p2p_rate() const {
     return p2p_stream_rate * (ecc_enabled ? ecc_bw_factor : 1.0);
   }
-  double effective_bar1_read_rate() const {
+  Rate effective_bar1_read_rate() const {
     return bar1_read_rate * (ecc_enabled ? ecc_bw_factor : 1.0);
   }
 };
@@ -61,8 +61,8 @@ inline GpuArch fermi_c2050() {
   GpuArch a;
   a.name = "Fermi C2050";
   a.mem_bytes = 3ull << 30;
-  a.p2p_stream_rate = 1.55e9;
-  a.bar1_read_rate = 150e6;
+  a.p2p_stream_rate = Rate(1.55e9);
+  a.bar1_read_rate = Rate(150e6);
   return a;
 }
 
@@ -85,12 +85,12 @@ inline GpuArch kepler_k20() {
   GpuArch a;
   a.name = "Kepler K20";
   a.mem_bytes = 5ull << 30;
-  a.p2p_stream_rate = 1.9e9;   // 1.6 GB/s effective once ECC derating applies
-  a.bar1_read_rate = 1.9e9;
+  a.p2p_stream_rate = Rate(1.9e9);  // 1.6 GB/s effective once ECC derates
+  a.bar1_read_rate = Rate(1.9e9);
   a.bar1_read_latency = units::us(0.8);
   a.ecc_enabled = true;
   a.spin_update_time = units::ps(520);
-  a.edge_scan_rate = 2.4e8;
+  a.edge_scan_rate = Rate(2.4e8);
   return a;
 }
 

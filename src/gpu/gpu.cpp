@@ -78,7 +78,8 @@ void Gpu::serve_p2p_request(const P2pReadDescriptor& desc) {
     while (off < desc.len) {
       const std::uint32_t sub = std::min(kCompletion, desc.len - off);
       const bool last = off + sub >= desc.len;
-      Time stream_time = units::transfer_time(sub, arch_.effective_p2p_rate());
+      Time stream_time =
+          units::transfer_time(Bytes(sub), arch_.effective_p2p_rate());
       p2p_response_line_.post(stream_time, [this, desc, t_accept, off, sub,
                                             last] {
         if (last) {
@@ -180,7 +181,7 @@ void Gpu::handle_read(std::uint64_t addr, std::uint32_t len,
         // generation serializes at the BAR1 read rate (the Fermi
         // 150 MB/s bottleneck).
         Time stream =
-            units::transfer_time(len, arch_.effective_bar1_read_rate());
+            units::transfer_time(Bytes(len), arch_.effective_bar1_read_rate());
         m_bar1_reads_->inc();
         const Time t_req = sim_->now();
         sim_->after(arch_.bar1_read_latency, [this, dev_off, len, stream,

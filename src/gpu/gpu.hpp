@@ -88,7 +88,7 @@ class Gpu : public pcie::Device {
   /// the PCIe address of the mapping. Throws if the aperture is exhausted.
   std::uint64_t bar1_map(std::uint64_t dev_offset, std::uint64_t size);
   void bar1_reset();
-  std::uint64_t bar1_mapped_bytes() const { return bar1_used_; }
+  Bytes bar1_mapped_bytes() const { return Bytes(bar1_used_); }
 
   // ---- copy engines (used by the simcuda runtime) -------------------------
   sim::Resource& copy_engine_d2h() { return copy_d2h_; }
@@ -98,7 +98,7 @@ class Gpu : public pcie::Device {
   // ---- statistics -----------------------------------------------------------
   std::uint64_t p2p_requests_served() const { return p2p_requests_.peek(); }
   int p2p_queue_depth() const { return p2p_queue_depth_; }
-  std::uint64_t p2p_bytes_served() const { return p2p_bytes_.peek(); }
+  Bytes p2p_bytes_served() const { return Bytes(p2p_bytes_.peek()); }
   std::uint64_t window_switches() const { return window_switches_.peek(); }
 
   // ---- pcie::Device ----------------------------------------------------------
@@ -114,6 +114,7 @@ class Gpu : public pcie::Device {
   GpuArch arch_;
   DeviceMemory mem_;
   DeviceAllocator alloc_;
+  // apn-lint: allow(check-coverage) — fixed at construction, never mutated
   std::uint64_t mmio_base_;
 
   sim::Resource p2p_response_line_;  ///< serializes P2P response streaming

@@ -73,10 +73,10 @@ sim::Coro Hca::tx_engine() {
       // Zero-length send: a single header-only frame.
       IbSwitch* sw = switch_;
       to_switch_->send(
-          params_.wire_overhead,
+          Bytes(params_.wire_overhead),
           [sw, msg] {
             sw->egress(msg->dst_rank)
-                .send(sw->hca(msg->dst_rank).params_.wire_overhead,
+                .send(Bytes(sw->hca(msg->dst_rank).params_.wire_overhead),
                       [sw, msg] {
                         sw->hca(msg->dst_rank)
                             .deliver_frame(*msg, 0, {}, true);
@@ -116,7 +116,7 @@ sim::Coro Hca::tx_engine() {
       auto sl = std::make_shared<std::vector<std::uint8_t>>(std::move(slice));
       auto forward = [sw, msg, sl, frame, off, last] {
         sw->egress(msg->dst_rank)
-            .send(frame + sw->hca(msg->dst_rank).params_.wire_overhead,
+            .send(Bytes(frame + sw->hca(msg->dst_rank).params_.wire_overhead),
                   [sw, msg, sl, off, last] {
                     sw->hca(msg->dst_rank)
                         .deliver_frame(*msg, off, std::move(*sl), last);
@@ -125,12 +125,14 @@ sim::Coro Hca::tx_engine() {
       // Only the last frame carries a serialized hook; intermediate frames
       // take the hookless path (no std::function boxed per frame).
       if (last) {
-        to_switch_->send(frame + params_.wire_overhead, std::move(forward),
+        to_switch_->send(Bytes(frame + params_.wire_overhead),
+                         std::move(forward),
                          [msg] {
                            if (msg->on_sent) msg->on_sent();
                          });
       } else {
-        to_switch_->send(frame + params_.wire_overhead, std::move(forward));
+        to_switch_->send(Bytes(frame + params_.wire_overhead),
+                         std::move(forward));
       }
       offset += frame;
     }
@@ -192,7 +194,7 @@ void Hca::deliver_frame(const WireMsg& msg, std::uint32_t offset,
 
 void IbSwitch::connect(Hca& hca) {
   sim::ChannelParams cp;
-  cp.bytes_per_sec = hca.params().link_rate;
+  cp.rate = hca.params().link_rate;
   cp.per_send_overhead = 0;
   cp.latency = hca.params().link_latency + port_latency_;
   up_.push_back(std::make_unique<sim::Channel>(*sim_, cp));

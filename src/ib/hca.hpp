@@ -29,7 +29,7 @@
 namespace apn::ib {
 
 struct HcaParams {
-  double link_rate = units::Gbps(32);  ///< 4X QDR
+  Rate link_rate = units::Gbps(32);  ///< 4X QDR
   Time link_latency = units::ns(120);
   std::uint32_t wire_mtu = 4096;
   std::uint32_t wire_overhead = 30;     ///< LRH/BTH/ICRC per MTU frame

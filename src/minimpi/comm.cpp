@@ -40,7 +40,7 @@ Time Rank::staged_copy_cost(std::uint64_t dst, std::uint64_t src,
                       ? cuda_->params().d2h_sync_overhead
                       : cuda_->params().h2d_sync_overhead;
   return world_->params().gpu_copy_extra + overhead +
-         cuda_->transfer_time(kind, dev, n);
+         cuda_->transfer_time(kind, dev, Bytes(n));
 }
 
 sim::Coro Rank::staged_copy(std::uint64_t dst, std::uint64_t src,
@@ -90,7 +90,8 @@ sim::Coro Rank::do_send(int dst, std::uint64_t addr, std::uint64_t n,
       co_await g->wait();
     } else {
       // Host copy into the vbuf.
-      co_await sim::delay(*sim_, units::transfer_time(n, p.eager_copy_rate));
+      co_await sim::delay(*sim_,
+                          units::transfer_time(Bytes(n), p.eager_copy_rate));
       std::memcpy(payload.data(), reinterpret_cast<const void*>(addr), n);
     }
     CtrlHeader hdr{};
@@ -238,7 +239,8 @@ sim::Coro Rank::finish_eager_recv(PendingRecv pr,
     staged_copy(pr.addr, vbuf, n, g);
     co_await g->wait();
   } else {
-    co_await sim::delay(*sim_, units::transfer_time(n, p.eager_copy_rate));
+    co_await sim::delay(*sim_,
+                        units::transfer_time(Bytes(n), p.eager_copy_rate));
     if (n > 0)
       std::memcpy(reinterpret_cast<void*>(pr.addr), data.data(), n);
   }

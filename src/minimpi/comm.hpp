@@ -38,7 +38,7 @@ struct MpiParams {
   std::uint32_t gpu_pipeline_chunk = 256 * 1024;
   Time call_overhead = units::us(0.5);   ///< per-MPI-call software cost
   Time gpu_copy_extra = units::us(1.8);  ///< MVAPICH-internal sync per copy
-  double eager_copy_rate = 6e9;          ///< vbuf <-> user host buffer
+  Rate eager_copy_rate = units::GBps(6);  ///< vbuf <-> user host buffer
   /// Staged copies are performed in blocking fragments of this size
   /// (0 = one copy for the whole message). 2012-era OpenMPI moved device
   /// buffers through small blocking fragments, capping its effective

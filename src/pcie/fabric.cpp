@@ -29,7 +29,7 @@ int Fabric::new_node(const std::string& name, int parent, LinkParams link) {
   edge.down_node = static_cast<int>(nodes_.size());
   edge.link = link;
   sim::ChannelParams cp;
-  cp.bytes_per_sec = link.raw_bytes_per_sec();
+  cp.rate = link.raw_rate();
   cp.per_send_overhead = 0;  // TLP overhead charged via wire_bytes()
   cp.latency = link.hop_latency;
   edge.up = std::make_unique<sim::Channel>(*sim_, cp);
@@ -176,7 +176,7 @@ void Fabric::forward_chunk(const std::shared_ptr<Xfer>& xfer,
   Edge& e = edges_[static_cast<std::size_t>(h.edge)];
   sim::Channel& ch = h.downstream ? *e.down : *e.up;
   const Time t_send = sim_->now();
-  ch.send(e.link.wire_bytes(chunk),
+  ch.send(e.link.wire_bytes(Bytes(chunk)),
           [this, xfer, offset, chunk, hop_idx, t_send] {
             const Hop& h = xfer->hops[hop_idx];
             Edge& e = edges_[static_cast<std::size_t>(h.edge)];

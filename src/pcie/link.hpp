@@ -22,33 +22,33 @@ struct LinkParams {
   Time hop_latency = units::ns(200);  ///< switch/RC forwarding latency
 
   /// Post-8b/10b (Gen1/2) or post-128b/130b (Gen3) raw rate per direction.
-  double raw_bytes_per_sec() const {
+  Rate raw_rate() const {
     double per_lane;
     switch (gen) {
       case 1: per_lane = 250e6; break;   // 2.5 GT/s, 8b/10b
       case 2: per_lane = 500e6; break;   // 5.0 GT/s, 8b/10b
       default: per_lane = 985e6; break;  // 8.0 GT/s, 128b/130b
     }
-    return per_lane * lanes;
+    return Rate(per_lane * lanes);
   }
 
   /// Wire bytes for a data transfer of `bytes` split into MPS-sized TLPs.
-  std::uint64_t wire_bytes(std::uint64_t bytes) const {
-    if (bytes == 0) return tlp_overhead;  // zero-length / header-only TLP
-    std::uint64_t tlps = (bytes + max_payload - 1) / max_payload;
-    return bytes + tlps * tlp_overhead;
+  Bytes wire_bytes(Bytes bytes) const {
+    if (bytes.count() == 0) return Bytes(tlp_overhead);  // header-only TLP
+    std::uint64_t tlps = (bytes.count() + max_payload - 1) / max_payload;
+    return bytes + Bytes(tlps * tlp_overhead);
   }
 
   /// Serialization time of a `bytes`-sized transfer on this link.
-  Time serialize_time(std::uint64_t bytes) const {
-    return units::transfer_time(wire_bytes(bytes), raw_bytes_per_sec());
+  Time serialize_time(Bytes bytes) const {
+    return units::transfer_time(wire_bytes(bytes), raw_rate());
   }
 
   /// Effective data rate once TLP overhead is accounted for.
-  double effective_bytes_per_sec() const {
+  Rate effective_rate() const {
     double frac = static_cast<double>(max_payload) /
                   static_cast<double>(max_payload + tlp_overhead);
-    return raw_bytes_per_sec() * frac;
+    return raw_rate() * frac;
   }
 };
 

@@ -20,7 +20,7 @@
 namespace apn::pcie {
 
 struct HostMemoryParams {
-  double read_bytes_per_sec = 8e9;  ///< memory-controller completion rate
+  Rate read_rate{8e9};  ///< memory-controller completion rate
   Time read_latency = units::ns(300);
 };
 
@@ -58,7 +58,7 @@ class HostMemory : public Device {
                    UniqueFn<void(Payload)> reply) override {
     // Access latency pipelines across outstanding reads (DRAM banks);
     // completion generation serializes at the memory-port rate.
-    Time stream = units::transfer_time(len, params_.read_bytes_per_sec);
+    Time stream = units::transfer_time(Bytes(len), params_.read_rate);
     sim_->after(params_.read_latency, [this, addr, len, stream,
                                        reply = std::move(reply)]() mutable {
       read_port_.post(stream, [this, addr, len,

@@ -26,7 +26,7 @@
 namespace apn::sim {
 
 struct ChannelParams {
-  double bytes_per_sec = 1e9;  ///< payload serialization rate
+  Rate rate = units::GBps(1);  ///< payload serialization rate
   Time per_send_overhead = 0;  ///< framing/TLP/DLLP overhead per send
   Time latency = 0;            ///< propagation + pipeline latency
 };
@@ -39,16 +39,16 @@ class Channel {
   const ChannelParams& params() const { return params_; }
 
   /// Serialization time for a send of `bytes` (excludes latency/queueing).
-  Time serialization_time(std::uint64_t bytes) const {
+  Time serialization_time(Bytes bytes) const {
     return params_.per_send_overhead +
-           units::transfer_time(bytes, params_.bytes_per_sec);
+           units::transfer_time(bytes, params_.rate);
   }
 
   /// Queue `bytes` for transmission; `delivered` fires at arrival time.
   /// `serialized` (optional) fires when the payload has fully left the
   /// sender — the point at which sender-side buffer space is reclaimable.
   template <typename D, typename S = UniqueFn<void()>>
-  void send(std::uint64_t bytes, D delivered, S serialized = {}) {
+  void send(Bytes bytes, D delivered, S serialized = {}) {
     bytes_sent_ += bytes;
     // S may be a UniqueFn-like type passed empty when the caller has no
     // serialized hook; plain lambdas are always truthy-equivalent and
@@ -81,10 +81,10 @@ class Channel {
   }
 
   /// Awaitable form: resumes when the payload has been *delivered*.
-  auto transfer(std::uint64_t bytes) {
+  auto transfer(Bytes bytes) {
     struct Awaiter {
       Channel& ch;
-      std::uint64_t n;
+      Bytes n;
       bool await_ready() const noexcept { return false; }
       void await_suspend(std::coroutine_handle<> h) {
         ch.bytes_sent_ += n;
@@ -96,7 +96,7 @@ class Channel {
     return Awaiter{*this, bytes};
   }
 
-  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  Bytes bytes_sent() const { return bytes_sent_; }
   double utilization() const { return line_.utilization(); }
   bool busy() const { return line_.busy(); }
   std::size_t queue_length() const { return line_.queue_length(); }
@@ -105,7 +105,7 @@ class Channel {
   Simulator* sim_;
   ChannelParams params_;
   Resource line_;
-  std::uint64_t bytes_sent_ = 0;
+  Bytes bytes_sent_;
 };
 
 }  // namespace apn::sim

@@ -46,6 +46,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/hot.hpp"
 #include "common/units.hpp"
 
 namespace apn::sim {
@@ -108,17 +109,17 @@ class Simulator {
   /// Fast path: resume `h` at the current tick, FIFO with every other
   /// same-tick event. Equivalent to after(0, [h]{ h.resume(); }) but
   /// allocation-free and heap-free.
-  void schedule_resume(std::coroutine_handle<> h) {
+  APN_HOT void schedule_resume(std::coroutine_handle<> h) {
     ring_push(make_resume_node(h));
   }
 
   /// Fast path: resume `h` at absolute time `t` (clamped to now()).
-  void resume_at(Time t, std::coroutine_handle<> h) {
+  APN_HOT void resume_at(Time t, std::coroutine_handle<> h) {
     schedule_node(make_resume_node(h), t);
   }
 
   /// Fast path: resume `h` after `delay` picoseconds.
-  void resume_after(Time delay, std::coroutine_handle<> h) {
+  APN_HOT void resume_after(Time delay, std::coroutine_handle<> h) {
     EventNode* n = make_resume_node(h);
     if (delay <= 0)
       ring_push(n);
@@ -127,7 +128,7 @@ class Simulator {
   }
 
   /// Process a single event. Returns false if no event is pending.
-  bool step() {
+  APN_HOT bool step() {
     EventNode* n = pop_next();
     if (n == nullptr) return false;
     ++processed_;
@@ -258,7 +259,7 @@ class Simulator {
   }
 
   template <typename F, typename Arg>
-  EventNode* make_node(Arg&& fn) {
+  APN_HOT EventNode* make_node(Arg&& fn) {
     EventNode* n = alloc_node();
     n->seq = next_seq_++;
     n->parent = running_seq_;
@@ -267,6 +268,8 @@ class Simulator {
       n->invoke = &inline_invoke<F>;
       n->drop = &inline_drop<F>;
     } else {
+      // Deliberate cold fallback for oversized callables; the common case
+      // is the placement-new above.  apn-lint: allow(hot-path-alloc)
       F* boxed = new F(std::forward<Arg>(fn));
       ::new (static_cast<void*>(n->storage)) (F*)(boxed);
       n->invoke = &boxed_invoke<F>;
@@ -275,7 +278,7 @@ class Simulator {
     return n;
   }
 
-  EventNode* make_resume_node(std::coroutine_handle<> h) {
+  APN_HOT EventNode* make_resume_node(std::coroutine_handle<> h) {
     EventNode* n = alloc_node();
     n->seq = next_seq_++;
     n->parent = running_seq_;
@@ -287,7 +290,7 @@ class Simulator {
 
   // ---- slab / freelist ---------------------------------------------------
 
-  EventNode* alloc_node() {
+  APN_HOT EventNode* alloc_node() {
     if (free_ == nullptr) grow_slab();
     EventNode* n = free_;
     free_ = n->next;
@@ -442,7 +445,7 @@ class Simulator {
   /// this tick began (later same-tick schedules go to the ring), so its
   /// seqs all precede the ring's; the ring precedes any strictly-later
   /// slot; and every wheel time precedes every heap time.
-  EventNode* pop_next() {
+  APN_HOT EventNode* pop_next() {
     if (wheel_size_ > 0) {
       const Time rel = now_ - base_;
       if (rel < kWheelSlots) {

@@ -60,13 +60,12 @@ MemcpyKind Runtime::classify(std::uint64_t dst, std::uint64_t src) const {
   throw std::invalid_argument("host-to-host memcpy through CUDA runtime");
 }
 
-Time Runtime::transfer_time(MemcpyKind kind, int dev,
-                            std::uint64_t n) const {
+Time Runtime::transfer_time(MemcpyKind kind, int dev, Bytes n) const {
   const gpu::GpuArch& a = gpus_.at(static_cast<std::size_t>(dev))->arch();
   // On-device copies run at internal memory bandwidth, far above PCIe.
-  double rate = kind == MemcpyKind::kDeviceToHost   ? a.dma_d2h_rate
-                : kind == MemcpyKind::kHostToDevice ? a.dma_h2d_rate
-                                                    : 100e9;
+  Rate rate = kind == MemcpyKind::kDeviceToHost   ? a.dma_d2h_rate
+              : kind == MemcpyKind::kHostToDevice ? a.dma_h2d_rate
+                                                  : Rate(100e9);
   return a.dma_setup + units::transfer_time(n, rate);
 }
 
@@ -115,7 +114,7 @@ Done Runtime::memcpy_sync(std::uint64_t dst, std::uint64_t src,
                       ? params_.d2h_sync_overhead
                       : params_.h2d_sync_overhead;
   sim_->after(overhead, [this, kind, dev, dst, src, n, done]() mutable {
-    engine_for(kind, dev).post(transfer_time(kind, dev, n),
+    engine_for(kind, dev).post(transfer_time(kind, dev, Bytes(n)),
                                [this, dst, src, n, done]() mutable {
                                  move_bytes(dst, src, n);
                                  done.set(Unit{});
@@ -164,7 +163,7 @@ Done Stream::memcpy_async(std::uint64_t dst, std::uint64_t src,
   int dev = di.is_device ? di.device : si.device;
 
   auto start = [rt, kind, dev, dst, src, n, done]() mutable {
-    rt->engine_for(kind, dev).post(rt->transfer_time(kind, dev, n),
+    rt->engine_for(kind, dev).post(rt->transfer_time(kind, dev, Bytes(n)),
                                    [rt, dst, src, n, done]() mutable {
                                      rt->move_bytes(dst, src, n);
                                      done.set({});

@@ -138,7 +138,7 @@ class Runtime {
   MemcpyKind classify(std::uint64_t dst, std::uint64_t src) const;
 
   // ---- internal helpers used by Stream ---------------------------------------
-  Time transfer_time(MemcpyKind kind, int device, std::uint64_t n) const;
+  Time transfer_time(MemcpyKind kind, int device, Bytes n) const;
   sim::Resource& engine_for(MemcpyKind kind, int device);
   /// Functionally move the bytes (no timing).
   void move_bytes(std::uint64_t dst, std::uint64_t src, std::uint64_t n);

@@ -96,7 +96,7 @@ TEST(Bar1Put, MappingIsCachedAcrossPuts) {
   // First put pays registration + the ~1 ms BAR1 reconfiguration.
   EXPECT_GT(first, units::ms(1));
   EXPECT_LT(second, units::us(30));
-  EXPECT_EQ(c->node(0).gpu(0).bar1_mapped_bytes(), 64u * 1024u);
+  EXPECT_EQ(c->node(0).gpu(0).bar1_mapped_bytes(), units::KiB(64));
 }
 
 TEST(Bar1Put, OffsetWithinMappedBufferWorks) {

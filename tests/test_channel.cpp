@@ -11,21 +11,21 @@ using units::us;
 TEST(Channel, SerializationPlusLatency) {
   Simulator sim;
   // 1 GB/s, 1 us overhead, 2 us latency: 1000 B => 1 + 1 + 2 = 4 us.
-  Channel ch(sim, ChannelParams{1e9, us(1), us(2)});
+  Channel ch(sim, ChannelParams{Rate(1e9), us(1), us(2)});
   Time delivered = -1;
-  ch.send(1000, [&] { delivered = sim.now(); });
+  ch.send(Bytes(1000), [&] { delivered = sim.now(); });
   sim.run();
   EXPECT_EQ(delivered, us(4));
 }
 
 TEST(Channel, BackToBackSendsPipeline) {
   Simulator sim;
-  Channel ch(sim, ChannelParams{1e9, 0, us(10)});
+  Channel ch(sim, ChannelParams{Rate(1e9), 0, us(10)});
   std::vector<Time> arrivals;
   // Three 1000-byte sends: serialization 1 us each, so the wire frees at
   // 1, 2, 3 us; arrivals at 11, 12, 13 us (latency pipelines).
   for (int i = 0; i < 3; ++i)
-    ch.send(1000, [&] { arrivals.push_back(sim.now()); });
+    ch.send(Bytes(1000), [&] { arrivals.push_back(sim.now()); });
   sim.run();
   ASSERT_EQ(arrivals.size(), 3u);
   EXPECT_EQ(arrivals[0], us(11));
@@ -35,10 +35,10 @@ TEST(Channel, BackToBackSendsPipeline) {
 
 TEST(Channel, SerializedCallbackFiresBeforeDelivery) {
   Simulator sim;
-  Channel ch(sim, ChannelParams{1e9, 0, us(5)});
+  Channel ch(sim, ChannelParams{Rate(1e9), 0, us(5)});
   Time serialized = -1, delivered = -1;
   ch.send(
-      1000, [&] { delivered = sim.now(); }, [&] { serialized = sim.now(); });
+      Bytes(1000), [&] { delivered = sim.now(); }, [&] { serialized = sim.now(); });
   sim.run();
   EXPECT_EQ(serialized, us(1));
   EXPECT_EQ(delivered, us(6));
@@ -46,10 +46,10 @@ TEST(Channel, SerializedCallbackFiresBeforeDelivery) {
 
 TEST(Channel, AwaitableTransfer) {
   Simulator sim;
-  Channel ch(sim, ChannelParams{2e9, 0, 0});
+  Channel ch(sim, ChannelParams{Rate(2e9), 0, 0});
   Time done = -1;
   [](Simulator& sim, Channel& ch, Time& done) -> Coro {
-    co_await ch.transfer(4000);  // 2 us at 2 GB/s
+    co_await ch.transfer(Bytes(4000));  // 2 us at 2 GB/s
     done = sim.now();
   }(sim, ch, done);
   sim.run();
@@ -60,7 +60,7 @@ TEST(Channel, ThroughputMatchesRate) {
   Simulator sim;
   Channel ch(sim, ChannelParams{units::GBps(2), 0, us(1)});
   const int n = 100;
-  const std::uint64_t bytes = 65536;
+  const Bytes bytes{65536};
   Time last = 0;
   for (int i = 0; i < n; ++i) ch.send(bytes, [&] { last = sim.now(); });
   sim.run();
@@ -71,9 +71,9 @@ TEST(Channel, ThroughputMatchesRate) {
 
 TEST(Channel, ZeroByteSendCostsOverheadOnly) {
   Simulator sim;
-  Channel ch(sim, ChannelParams{1e9, us(3), us(2)});
+  Channel ch(sim, ChannelParams{Rate(1e9), us(3), us(2)});
   Time delivered = -1;
-  ch.send(0, [&] { delivered = sim.now(); });
+  ch.send(Bytes(0), [&] { delivered = sim.now(); });
   sim.run();
   EXPECT_EQ(delivered, us(5));
 }

@@ -105,7 +105,7 @@ TEST_F(GpuFixture, P2pStreamingRateCapsAt1_5GBs) {
     send_read_request(off, req);
   sim.run();
   EXPECT_EQ(nic.bytes, total);
-  double mbps = units::bandwidth_MBps(total, nic.last_at);
+  double mbps = units::bandwidth_MBps(Bytes(total), nic.last_at);
   // Architectural Fermi ceiling: ~1.55 GB/s (not the 3.6 GB/s the link
   // could carry).
   EXPECT_GT(mbps, 1450.0);
@@ -159,7 +159,7 @@ TEST_F(GpuFixture, Bar1FermiReadIsSlow) {
   }
   sim.run();
   EXPECT_EQ(done_bytes, total);
-  double mbps = units::bandwidth_MBps(total, last);
+  double mbps = units::bandwidth_MBps(Bytes(total), last);
   // Fermi BAR1 read-completion rate: ~150 MB/s.
   EXPECT_GT(mbps, 130.0);
   EXPECT_LT(mbps, 170.0);
@@ -185,7 +185,7 @@ TEST_F(GpuFixture, QueueDepthLimitThrottlesRequests) {
     send_read_request(off, 512);
   sim.run();
   EXPECT_EQ(nic.bytes, total);
-  double mbps = units::bandwidth_MBps(total, nic.last_at);
+  double mbps = units::bandwidth_MBps(Bytes(total), nic.last_at);
   // Depth 2 x 512 B over a ~2.6 us pipeline: far below the 1.5 GB/s cap.
   EXPECT_LT(mbps, 900.0);
   EXPECT_EQ(gpu->p2p_queue_depth(), 0);  // fully drained
@@ -199,10 +199,10 @@ TEST(GpuArchPresets, PaperValues) {
   // Kepler K20 was measured with ECC on and still hit 1.6 GB/s.
   GpuArch k20 = kepler_k20();
   EXPECT_TRUE(k20.ecc_enabled);
-  EXPECT_NEAR(k20.effective_p2p_rate(), 1.6e9, 0.1e9);
-  EXPECT_NEAR(k20.effective_bar1_read_rate(), 1.6e9, 0.1e9);
+  EXPECT_NEAR(k20.effective_p2p_rate().bytes_per_sec(), 1.6e9, 0.1e9);
+  EXPECT_NEAR(k20.effective_bar1_read_rate().bytes_per_sec(), 1.6e9, 0.1e9);
   // Fermi BAR1 is an order of magnitude slower than Kepler's.
-  EXPECT_LT(fermi_c2050().bar1_read_rate * 5, k20.bar1_read_rate);
+  EXPECT_LT(fermi_c2050().bar1_read_rate * 5.0, k20.bar1_read_rate);
 }
 
 }  // namespace

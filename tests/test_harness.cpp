@@ -17,7 +17,7 @@ TEST(Harness, BandwidthAccountsAllBytes) {
   auto r = twonode_bandwidth(*c, 65536, 10, TwoNodeOptions{});
   EXPECT_EQ(r.bytes, 655360u);
   EXPECT_GT(r.elapsed, 0);
-  EXPECT_NEAR(r.mbps, units::bandwidth_MBps(r.bytes, r.elapsed), 1e-9);
+  EXPECT_NEAR(r.mbps, units::bandwidth_MBps(Bytes(r.bytes), r.elapsed), 1e-9);
 }
 
 TEST(Harness, MoreTrafficSameBandwidth) {

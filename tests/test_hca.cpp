@@ -71,7 +71,7 @@ TEST_F(IbFixture, LargeTransferBandwidthNearLinkRate) {
     t->second = sim->now();
   }(hca(1), count, t, &sim);
   sim.run();
-  double mbps = units::bandwidth_MBps(total, t->second - t->first);
+  double mbps = units::bandwidth_MBps(Bytes(total), t->second - t->first);
   EXPECT_GT(mbps, 2500.0);
   EXPECT_LT(mbps, 3700.0);
 }
@@ -116,7 +116,7 @@ TEST(IbSlotWidth, X4SlotHalvesBandwidth) {
       *t = sim->now();
     }(c.node(1).hca(), count, t, &sim);
     sim.run();
-    return units::bandwidth_MBps(count * (1ull << 20), *t);
+    return units::bandwidth_MBps(Bytes(count * (1ull << 20)), *t);
   };
   double x8 = measure(pcie::gen2_x8());
   double x4 = measure(pcie::gen2_x4());

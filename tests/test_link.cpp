@@ -6,44 +6,44 @@ namespace apn::pcie {
 namespace {
 
 TEST(LinkParams, RawRates) {
-  EXPECT_DOUBLE_EQ(gen2_x8().raw_bytes_per_sec(), 4e9);
-  EXPECT_DOUBLE_EQ(gen2_x4().raw_bytes_per_sec(), 2e9);
-  EXPECT_DOUBLE_EQ(gen2_x16().raw_bytes_per_sec(), 8e9);
+  EXPECT_DOUBLE_EQ(gen2_x8().raw_rate().bytes_per_sec(), 4e9);
+  EXPECT_DOUBLE_EQ(gen2_x4().raw_rate().bytes_per_sec(), 2e9);
+  EXPECT_DOUBLE_EQ(gen2_x16().raw_rate().bytes_per_sec(), 8e9);
   LinkParams g1{1, 8, 256, 28, 0};
-  EXPECT_DOUBLE_EQ(g1.raw_bytes_per_sec(), 2e9);
+  EXPECT_DOUBLE_EQ(g1.raw_rate().bytes_per_sec(), 2e9);
 }
 
 TEST(LinkParams, WireBytesAccountsTlpOverhead) {
   LinkParams l = gen2_x8();
   // 256 B payload => exactly 1 TLP.
-  EXPECT_EQ(l.wire_bytes(256), 256u + 28u);
+  EXPECT_EQ(l.wire_bytes(Bytes(256)), Bytes(256 + 28));
   // 257 B => 2 TLPs.
-  EXPECT_EQ(l.wire_bytes(257), 257u + 2u * 28u);
+  EXPECT_EQ(l.wire_bytes(Bytes(257)), Bytes(257 + 2 * 28));
   // 4 KB => 16 TLPs.
-  EXPECT_EQ(l.wire_bytes(4096), 4096u + 16u * 28u);
+  EXPECT_EQ(l.wire_bytes(Bytes(4096)), Bytes(4096 + 16 * 28));
   // Header-only transaction.
-  EXPECT_EQ(l.wire_bytes(0), 28u);
+  EXPECT_EQ(l.wire_bytes(Bytes(0)), Bytes(28));
 }
 
 TEST(LinkParams, EffectiveRateBelowRaw) {
   LinkParams l = gen2_x8();
-  EXPECT_LT(l.effective_bytes_per_sec(), l.raw_bytes_per_sec());
+  EXPECT_LT(l.effective_rate(), l.raw_rate());
   // 256/(256+28) of 4 GB/s ~ 3.6 GB/s.
-  EXPECT_NEAR(l.effective_bytes_per_sec(), 3.6e9, 0.05e9);
+  EXPECT_NEAR(l.effective_rate().bytes_per_sec(), 3.6e9, 0.05e9);
 }
 
 TEST(LinkParams, SerializeTimeScalesWithSize) {
   LinkParams l = gen2_x8();
-  Time t4k = l.serialize_time(4096);
-  Time t8k = l.serialize_time(8192);
+  Time t4k = l.serialize_time(Bytes(4096));
+  Time t8k = l.serialize_time(Bytes(8192));
   EXPECT_NEAR(static_cast<double>(t8k) / static_cast<double>(t4k), 2.0, 0.01);
   // 4 KB + overhead at 4 GB/s ~ 1.14 us.
   EXPECT_NEAR(units::to_us(t4k), 1.136, 0.01);
 }
 
 TEST(LinkParams, X4HalvesThroughput) {
-  Time x8 = gen2_x8().serialize_time(1 << 20);
-  Time x4 = gen2_x4().serialize_time(1 << 20);
+  Time x8 = gen2_x8().serialize_time(units::MiB(1));
+  Time x4 = gen2_x4().serialize_time(units::MiB(1));
   EXPECT_NEAR(static_cast<double>(x4) / static_cast<double>(x8), 2.0, 0.01);
 }
 

@@ -162,6 +162,162 @@ TEST(LintDetachedCoro, NonCoroCapturingLambdaIsClean) {
           .empty());
 }
 
+// ---- dropped-awaitable -----------------------------------------------------
+
+TEST(LintDroppedAwaitable, BareAwaiterCallIsFlagged) {
+  auto f = lint_source("src/core/x.cpp",
+                       "sim::Coro run(Gate& g) {\n"
+                       "  g.wait();\n"
+                       "  co_return;\n"
+                       "}\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "dropped-awaitable");
+  EXPECT_EQ(f[0].line, 2);
+}
+
+TEST(LintDroppedAwaitable, ConsumedOrBoundResultsAreClean) {
+  EXPECT_TRUE(lint_source("src/core/x.cpp",
+                          "sim::Coro run(Gate& g, Semaphore& s) {\n"
+                          "  co_await g.wait();\n"
+                          "  auto tok = s.acquire();\n"
+                          "  co_await tok;\n"
+                          "}\n")
+                  .empty());
+}
+
+TEST(LintDroppedAwaitable, CoroCallsAreFireAndForget) {
+  // sim::Coro starts eagerly and owns its frame: a bare call is the
+  // repo's spawn idiom, not a dropped wait.
+  EXPECT_TRUE(lint_source("src/core/x.cpp",
+                          "sim::Coro pump() { co_return; }\n"
+                          "void kick() { pump(); }\n")
+                  .empty());
+}
+
+TEST(LintDroppedAwaitable, HarvestsDeclaredAwaiterReturnTypes) {
+  auto f = lint_source("src/core/x.cpp",
+                       "TickAwaiter next_tick() { return TickAwaiter{}; }\n"
+                       "sim::Coro run() {\n"
+                       "  next_tick();\n"
+                       "  co_return;\n"
+                       "}\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "dropped-awaitable");
+  EXPECT_EQ(f[0].line, 3);
+}
+
+// ---- unit-mix --------------------------------------------------------------
+
+TEST(LintUnitMix, TimePlusRawLiteralFlagged) {
+  auto f = lint_source("src/core/x.cpp",
+                       "Time deadline(Time start) { return start + 512; }\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "unit-mix");
+}
+
+TEST(LintUnitMix, TimePlusByteVariableFlagged) {
+  auto f = lint_source("src/core/x.cpp",
+                       "Time f(Time start) {\n"
+                       "  long long hdr_bytes = 64;\n"
+                       "  return start + hdr_bytes;\n"
+                       "}\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "unit-mix");
+  EXPECT_EQ(f[0].line, 3);
+}
+
+TEST(LintUnitMix, ScaledLiteralsAndHelpersAreClean) {
+  EXPECT_TRUE(lint_source("src/core/x.cpp",
+                          "Time f(Time start) {\n"
+                          "  Time t = start + units::us(8);\n"
+                          "  t += 6 * units::ns(250);\n"
+                          "  return t + 0;\n"
+                          "}\n")
+                  .empty());
+}
+
+TEST(LintUnitMix, TimePlusTimeIsClean) {
+  EXPECT_TRUE(lint_source("src/core/x.cpp",
+                          "Time f(Time a, Time b) { return a + b - a; }\n")
+                  .empty());
+}
+
+// ---- check-coverage --------------------------------------------------------
+
+TEST(LintCheckCoverage, UninstrumentedStateMemberFlagged) {
+  auto f = lint_source("src/core/x.hpp",
+                       "class Dev {\n"
+                       "  check::StateCell<int> credits_;\n"
+                       "  std::uint64_t tail_ = 0;\n"
+                       "};\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "check-coverage");
+  EXPECT_EQ(f[0].line, 3);
+}
+
+TEST(LintCheckCoverage, InstrumentedMemberIsCovered) {
+  EXPECT_TRUE(lint_source("src/core/x.hpp",
+                          "class Dev {\n"
+                          "  void bump() { APN_CHECK_ACCESS(tail_, w); "
+                          "tail_ += 1; }\n"
+                          "  check::StateCell<int> credits_;\n"
+                          "  std::uint64_t tail_ = 0;\n"
+                          "};\n")
+                  .empty());
+}
+
+TEST(LintCheckCoverage, OnlyHeadersUnderSrcAreScanned) {
+  const std::string src =
+      "class Dev {\n"
+      "  check::StateCell<int> c_;\n"
+      "  int tail_ = 0;\n"
+      "};\n";
+  EXPECT_TRUE(lint_source("src/core/x.cpp", src).empty());  // not a header
+  EXPECT_TRUE(lint_source("tests/x.hpp", src).empty());     // not model code
+}
+
+TEST(LintCheckCoverage, UninstrumentedClassesAreOutOfScope) {
+  // A class with no race-detector participation owes no coverage.
+  EXPECT_TRUE(lint_source("src/core/x.hpp",
+                          "class Plain {\n"
+                          "  int count_ = 0;\n"
+                          "};\n")
+                  .empty());
+}
+
+TEST(LintCheckCoverage, AllowCommentSuppresses) {
+  EXPECT_TRUE(lint_source("src/core/x.hpp",
+                          "class Dev {\n"
+                          "  check::StateCell<int> c_;\n"
+                          "  // set once.  apn-lint: allow(check-coverage)\n"
+                          "  int tail_ = 0;\n"
+                          "};\n")
+                  .empty());
+}
+
+// ---- hot-path-alloc --------------------------------------------------------
+
+TEST(LintHotPathAlloc, AllocationInHotFunctionFlagged) {
+  auto f = lint_source("src/sim/x.hpp",
+                       "APN_HOT void push() {\n"
+                       "  Node* m = new Node();\n"
+                       "  void* p = malloc(16);\n"
+                       "}\n");
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[0].rule, "hot-path-alloc");
+  EXPECT_EQ(f[0].line, 2);
+  EXPECT_EQ(f[1].rule, "hot-path-alloc");
+  EXPECT_EQ(f[1].line, 3);
+}
+
+TEST(LintHotPathAlloc, PlacementNewAndColdFunctionsAreClean) {
+  EXPECT_TRUE(
+      lint_source("src/sim/x.hpp",
+                  "APN_HOT void push(void* slab) { new (slab) Node(); }\n"
+                  "Node* grow() { return new Node(); }\n")
+          .empty());
+}
+
 // ---- suppressions ----------------------------------------------------------
 
 TEST(LintSuppress, SameLineAndLineAbove) {
@@ -198,6 +354,134 @@ TEST(LintSuppress, DoesNotLeakPastTheNextLine) {
                         "std::function<void()> cb;\n")
                 .size(),
             1u);
+}
+
+TEST(LintSuppress, RulesSeparatedBySpacesOnly) {
+  // The contract allows commas AND/OR spaces between rule names.
+  EXPECT_TRUE(lint_source("src/sim/x.hpp",
+                          "// apn-lint: allow(std-function wall-clock)\n"
+                          "std::function<Time()> cb = [] { return "
+                          "std::time(nullptr); };\n")
+                  .empty());
+}
+
+TEST(LintSuppress, MixedCommaAndSpaceSeparators) {
+  EXPECT_TRUE(lint_source("src/sim/x.hpp",
+                          "// apn-lint: allow(std-function,  wall-clock "
+                          "raw-rand)\n"
+                          "std::function<int()> cb = [] { return rand(); };\n")
+                  .empty());
+}
+
+TEST(LintSuppress, AboveMultiLineStatement) {
+  // The finding sits on line 4, but its statement starts on line 2; an
+  // allow above the statement's first line covers the whole statement.
+  EXPECT_TRUE(lint_source("src/core/x.cpp",
+                          "// apn-lint: allow(wall-clock)\n"
+                          "auto t =\n"
+                          "    wrap(\n"
+                          "        std::time(nullptr));\n")
+                  .empty());
+}
+
+TEST(LintSuppress, OnFirstLineOfMultiLineStatement) {
+  EXPECT_TRUE(lint_source("src/core/x.cpp",
+                          "auto t =  // apn-lint: allow(wall-clock)\n"
+                          "    wrap(\n"
+                          "        std::time(nullptr));\n")
+                  .empty());
+}
+
+// ---- fixture corpus --------------------------------------------------------
+
+#ifndef APN_LINT_FIXTURE_DIR
+#define APN_LINT_FIXTURE_DIR "tests/lint_fixtures"
+#endif
+
+struct FixtureCase {
+  const char* rule;      // expected rule slug
+  const char* stem;      // fixture file stem: <stem>_{pos,neg}.fixture
+  const char* as_path;   // synthetic path for directory-scoped rules
+};
+
+class LintFixtures : public ::testing::TestWithParam<FixtureCase> {
+ protected:
+  static std::vector<Finding> lint_fixture(const std::string& file,
+                                           const std::string& as_path) {
+    const std::string full =
+        std::string(APN_LINT_FIXTURE_DIR) + "/" + file;
+    std::string src;
+    EXPECT_TRUE(apn::lint::read_file(full, src))
+        << "cannot read fixture " << full;
+    return lint_source(as_path, src);
+  }
+};
+
+TEST_P(LintFixtures, PositiveFires) {
+  const FixtureCase& c = GetParam();
+  auto f = lint_fixture(std::string(c.stem) + "_pos.fixture", c.as_path);
+  ASSERT_FALSE(f.empty()) << c.stem << "_pos.fixture produced no findings";
+  for (const Finding& hit : f)
+    EXPECT_EQ(hit.rule, c.rule) << "unexpected cross-rule finding at line "
+                                << hit.line << ": " << hit.detail;
+}
+
+TEST_P(LintFixtures, NegativeIsClean) {
+  const FixtureCase& c = GetParam();
+  auto f = lint_fixture(std::string(c.stem) + "_neg.fixture", c.as_path);
+  for (const Finding& hit : f)
+    ADD_FAILURE() << c.stem << "_neg.fixture line " << hit.line << " ["
+                  << hit.rule << "] " << hit.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRules, LintFixtures,
+    ::testing::Values(
+        FixtureCase{"wall-clock", "wall_clock", "src/core/fixture.cpp"},
+        FixtureCase{"raw-rand", "raw_rand", "src/core/fixture.cpp"},
+        FixtureCase{"std-function", "std_function", "src/sim/fixture.hpp"},
+        FixtureCase{"ptr-key-iter", "ptr_key_iter", "src/core/fixture.cpp"},
+        FixtureCase{"detached-coro", "detached_coro", "src/core/fixture.cpp"},
+        FixtureCase{"dropped-awaitable", "dropped_awaitable",
+                    "src/core/fixture.cpp"},
+        FixtureCase{"unit-mix", "unit_mix", "src/core/fixture.cpp"},
+        FixtureCase{"check-coverage", "check_coverage",
+                    "src/core/fixture.hpp"},
+        FixtureCase{"hot-path-alloc", "hot_path_alloc",
+                    "src/sim/fixture.cpp"}),
+    [](const ::testing::TestParamInfo<FixtureCase>& info) {
+      std::string name;
+      bool up = true;  // CamelCase the stem for readable test names
+      for (char ch : std::string(info.param.stem)) {
+        if (ch == '_') {
+          up = true;
+          continue;
+        }
+        name += up ? static_cast<char>(ch - 'a' + 'A') : ch;
+        up = false;
+      }
+      return name;
+    });
+
+// ---- SARIF output ----------------------------------------------------------
+
+TEST(LintSarif, WellFormedWithFindings) {
+  std::vector<Finding> fs = {
+      {"src/a.cpp", 3, "wall-clock", "say \"hi\""},
+  };
+  const std::string s = apn::lint::format_sarif(fs);
+  EXPECT_NE(s.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(s.find("\"apn-lint\""), std::string::npos);
+  EXPECT_NE(s.find("\"ruleId\": \"wall-clock\""), std::string::npos);
+  EXPECT_NE(s.find("\"startLine\": 3"), std::string::npos);
+  EXPECT_NE(s.find("say \\\"hi\\\""), std::string::npos);  // escaping
+}
+
+TEST(LintSarif, EmptyRunStillHasToolMetadata) {
+  const std::string s = apn::lint::format_sarif({});
+  EXPECT_NE(s.find("\"results\": ["), std::string::npos);
+  EXPECT_EQ(s.find("ruleId"), std::string::npos);          // no results
+  EXPECT_NE(s.find("check-coverage"), std::string::npos);  // rule catalogue
 }
 
 // ---- baseline --------------------------------------------------------------

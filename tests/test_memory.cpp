@@ -52,7 +52,7 @@ TEST(HostMemory, WriteOutsidePinnedIsDropped) {
 TEST(HostMemory, ReadCompletionsSerializeAtMemoryRate) {
   sim::Simulator sim;
   HostMemoryParams params;
-  params.read_bytes_per_sec = 1e9;
+  params.read_rate = Rate(1e9);
   params.read_latency = units::us(1);
   HostMemory host(sim, params);
   std::vector<Time> done;

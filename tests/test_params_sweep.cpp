@@ -22,14 +22,15 @@ TEST_P(LinkSweep, EffectiveRateScalesWithWidthAndGen) {
   pcie::LinkParams l;
   l.gen = gen;
   l.lanes = lanes;
-  EXPECT_GT(l.raw_bytes_per_sec(), 0.0);
-  EXPECT_LT(l.effective_bytes_per_sec(), l.raw_bytes_per_sec());
+  EXPECT_GT(l.raw_rate().bytes_per_sec(), 0.0);
+  EXPECT_LT(l.effective_rate(), l.raw_rate());
   // Doubling lanes doubles the rate exactly.
   pcie::LinkParams wide = l;
   wide.lanes = lanes * 2;
-  EXPECT_DOUBLE_EQ(wide.raw_bytes_per_sec(), 2 * l.raw_bytes_per_sec());
+  EXPECT_DOUBLE_EQ(wide.raw_rate().bytes_per_sec(),
+                   (l.raw_rate() * 2.0).bytes_per_sec());
   // Serialization is monotone in size.
-  EXPECT_LT(l.serialize_time(4096), l.serialize_time(8192));
+  EXPECT_LT(l.serialize_time(Bytes(4096)), l.serialize_time(Bytes(8192)));
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -119,10 +119,11 @@ TEST(SimStress, ResourceBusyTimeEqualsSumOfJobs) {
 TEST(SimStress, ChannelDeliversInOrderUnderRandomSizes) {
   Rng rng(12);
   Simulator sim;
-  Channel ch(sim, ChannelParams{1e9, units::ns(30), units::us(2)});
+  Channel ch(sim, ChannelParams{Rate(1e9), units::ns(30), units::us(2)});
   std::vector<int> order;
   for (int i = 0; i < 500; ++i) {
-    ch.send(rng.next_below(9000) + 1, [&order, i] { order.push_back(i); });
+    ch.send(Bytes(rng.next_below(9000) + 1),
+            [&order, i] { order.push_back(i); });
   }
   sim.run();
   ASSERT_EQ(order.size(), 500u);

@@ -16,40 +16,66 @@ TEST(Units, TimeConversionsRoundTrip) {
 }
 
 TEST(Units, Sizes) {
-  EXPECT_EQ(KiB(4), 4096u);
-  EXPECT_EQ(MiB(1), 1048576u);
-  EXPECT_EQ(GiB(3), 3ull * 1024 * 1024 * 1024);
+  EXPECT_EQ(KiB(4).count(), 4096u);
+  EXPECT_EQ(MiB(1).count(), 1048576u);
+  EXPECT_EQ(GiB(3).count(), 3ull * 1024 * 1024 * 1024);
 }
 
 TEST(Units, Rates) {
-  EXPECT_DOUBLE_EQ(MBps(1), 1e6);
-  EXPECT_DOUBLE_EQ(GBps(2.5), 2.5e9);
+  EXPECT_DOUBLE_EQ(MBps(1).bytes_per_sec(), 1e6);
+  EXPECT_DOUBLE_EQ(GBps(2.5).bytes_per_sec(), 2.5e9);
   // 28 Gbps (the APEnet+ torus link) = 3.5 GB/s.
-  EXPECT_DOUBLE_EQ(Gbps(28), 3.5e9);
+  EXPECT_DOUBLE_EQ(Gbps(28).bytes_per_sec(), 3.5e9);
+}
+
+TEST(Units, BytesArithmetic) {
+  Bytes a(4096), b(1024);
+  EXPECT_EQ((a + b).count(), 5120u);
+  EXPECT_EQ((a - b).count(), 3072u);
+  EXPECT_EQ((a * 2).count(), 8192u);
+  EXPECT_EQ((2 * b).count(), 2048u);
+  EXPECT_EQ((a / 4).count(), 1024u);
+  EXPECT_EQ(a / b, 4u);            // ratio: dimensionless
+  EXPECT_EQ((a % b).count(), 0u);  // remainder: still bytes
+  EXPECT_LT(b, a);
+  a += b;
+  EXPECT_EQ(a.count(), 5120u);
+  a -= b;
+  EXPECT_EQ(a.count(), 4096u);
+}
+
+TEST(Units, RateArithmetic) {
+  Rate r = GBps(2);
+  EXPECT_DOUBLE_EQ((r * 0.5).bytes_per_sec(), 1e9);
+  EXPECT_DOUBLE_EQ((0.5 * r).bytes_per_sec(), 1e9);
+  EXPECT_DOUBLE_EQ((r / 2.0).bytes_per_sec(), 1e9);
+  EXPECT_DOUBLE_EQ(r / GBps(1), 2.0);  // ratio: dimensionless
+  EXPECT_DOUBLE_EQ((r + GBps(1)).bytes_per_sec(), 3e9);
+  EXPECT_LT(GBps(1), r);
 }
 
 TEST(Units, TransferTime) {
   // 1 GB/s => 1 byte takes 1 ns.
-  EXPECT_EQ(transfer_time(1, 1e9), 1000);
+  EXPECT_EQ(transfer_time(Bytes(1), Rate(1e9)), 1000);
   // 4 KB at 4 GB/s = 1 us.
-  EXPECT_EQ(transfer_time(4096, 4e9), 1024000);
-  EXPECT_EQ(transfer_time(0, 1e9), 0);
+  EXPECT_EQ(transfer_time(Bytes(4096), Rate(4e9)), 1024000);
+  EXPECT_EQ(transfer_time(Bytes(0), Rate(1e9)), 0);
   // Sub-picosecond transfers round up to 1 ps, never 0.
-  EXPECT_GE(transfer_time(1, 1e15), 1);
+  EXPECT_GE(transfer_time(Bytes(1), Rate(1e15)), 1);
 }
 
 TEST(Units, BandwidthOfElapsed) {
   // 1 MiB in 1 ms => ~1049 MB/s.
-  double mbps = bandwidth_MBps(1 << 20, ms(1));
+  double mbps = bandwidth_MBps(MiB(1), ms(1));
   EXPECT_NEAR(mbps, 1048.576, 1e-6);
-  EXPECT_EQ(bandwidth_MBps(100, 0), 0.0);
+  EXPECT_EQ(bandwidth_MBps(Bytes(100), 0), 0.0);
 }
 
 TEST(Units, TransferTimeInverseOfBandwidth) {
   for (double rate : {1e6, 1e8, 1.55e9, 3.5e9}) {
     for (std::uint64_t bytes : {4096ull, 1ull << 20, 32768ull}) {
-      Time t = transfer_time(bytes, rate);
-      double back = bandwidth_MBps(bytes, t);
+      Time t = transfer_time(Bytes(bytes), Rate(rate));
+      double back = bandwidth_MBps(Bytes(bytes), t);
       EXPECT_NEAR(back, rate / 1e6, rate / 1e6 * 1e-3);
     }
   }

@@ -4,7 +4,6 @@
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
-#include <set>
 #include <sstream>
 #include <tuple>
 
@@ -12,66 +11,61 @@ namespace apn::lint {
 
 namespace {
 
+constexpr std::size_t npos = std::string::npos;
+
 bool ident_char(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
 }
 
-/// Comment/string-stripped view of a source buffer: stripped characters
-/// become spaces (newlines survive), so offsets and line numbers match the
-/// original text. Suppressions are collected from comment text before it
-/// is blanked.
-struct Stripped {
-  std::string text;
-  std::vector<std::size_t> line_starts;          // offset of each line, 0-based
-  std::set<std::pair<int, std::string>> allows;  // (line, rule) suppressions
+bool path_contains(const std::string& path, const char* needle) {
+  return path.find(needle) != npos;
+}
 
-  int line_of(std::size_t off) const {
-    auto it = std::upper_bound(line_starts.begin(), line_starts.end(), off);
-    return static_cast<int>(it - line_starts.begin());
-  }
-  bool allowed(int line, const std::string& rule) const {
-    // A suppression covers its own line and the line below it (the common
-    // "comment above the statement" placement).
-    return allows.count({line, rule}) != 0 ||
-           (line > 1 && allows.count({line - 1, rule}) != 0);
-  }
-};
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::string(suffix).size();
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
 
-/// Parse `apn-lint: allow(a, b)` occurrences inside one comment.
-void collect_allows(const std::string& comment, int line, Stripped& out) {
+/// Parse `apn-lint: allow(a, b c)` occurrences inside one comment. Rule
+/// names may be separated by commas and/or whitespace.
+void collect_allows(const std::string& comment, int line, FileIR& out) {
   const std::string kMarker = "apn-lint: allow(";
   std::size_t pos = 0;
-  while ((pos = comment.find(kMarker, pos)) != std::string::npos) {
+  while ((pos = comment.find(kMarker, pos)) != npos) {
     std::size_t start = pos + kMarker.size();
     std::size_t end = comment.find(')', start);
-    if (end == std::string::npos) break;
-    std::string rules = comment.substr(start, end - start);
-    std::stringstream ss(rules);
-    std::string rule;
-    while (std::getline(ss, rule, ',')) {
-      rule.erase(0, rule.find_first_not_of(" \t"));
-      rule.erase(rule.find_last_not_of(" \t") + 1);
-      if (!rule.empty()) out.allows.insert({line, rule});
+    if (end == npos) break;
+    std::string cur;
+    for (std::size_t i = start; i <= end; ++i) {
+      const char c = i < end ? comment[i] : ' ';
+      if (c == ',' || c == ' ' || c == '\t') {
+        if (!cur.empty()) out.allows.insert({line, cur});
+        cur.clear();
+      } else {
+        cur.push_back(c);
+      }
     }
     pos = end;
   }
 }
 
-Stripped strip(const std::string& src) {
-  Stripped out;
-  out.text.assign(src.size(), ' ');
-  out.line_starts.push_back(0);
+/// Blank comments/strings into spaces (newlines survive) so offsets and line
+/// numbers in `ir.text` match the original buffer; collect suppressions from
+/// comment text before it is blanked.
+void strip_into(const std::string& src, FileIR& ir) {
+  ir.text.assign(src.size(), ' ');
+  ir.line_starts.push_back(0);
   enum class St { kCode, kLineComment, kBlockComment, kString, kChar };
   St st = St::kCode;
-  std::string comment;        // text of the comment being scanned
-  int comment_line = 0;       // line the current comment started on
+  std::string comment;
+  int comment_line = 0;
   int line = 1;
   for (std::size_t i = 0; i < src.size(); ++i) {
     const char c = src[i];
     const char n = i + 1 < src.size() ? src[i + 1] : '\0';
     if (c == '\n') {
-      out.text[i] = '\n';
-      out.line_starts.push_back(i + 1);
+      ir.text[i] = '\n';
+      ir.line_starts.push_back(i + 1);
       ++line;
     }
     switch (st) {
@@ -91,12 +85,12 @@ Stripped strip(const std::string& src) {
         } else if (c == '\'') {
           st = St::kChar;
         } else if (c != '\n') {
-          out.text[i] = c;
+          ir.text[i] = c;
         }
         break;
       case St::kLineComment:
         if (c == '\n') {
-          collect_allows(comment, comment_line, out);
+          collect_allows(comment, comment_line, ir);
           st = St::kCode;
         } else {
           comment.push_back(c);
@@ -104,7 +98,7 @@ Stripped strip(const std::string& src) {
         break;
       case St::kBlockComment:
         if (c == '*' && n == '/') {
-          collect_allows(comment, comment_line, out);
+          collect_allows(comment, comment_line, ir);
           st = St::kCode;
           ++i;
         } else {
@@ -128,8 +122,7 @@ Stripped strip(const std::string& src) {
     }
   }
   if (st == St::kLineComment || st == St::kBlockComment)
-    collect_allows(comment, comment_line, out);
-  return out;
+    collect_allows(comment, comment_line, ir);
 }
 
 struct Ident {
@@ -153,13 +146,12 @@ std::vector<Ident> identifiers(const std::string& text) {
   return out;
 }
 
-/// First non-space character offset before `off`, or npos.
 std::size_t prev_nonspace(const std::string& t, std::size_t off) {
   while (off > 0) {
     --off;
     if (t[off] != ' ' && t[off] != '\n' && t[off] != '\t') return off;
   }
-  return std::string::npos;
+  return npos;
 }
 
 std::size_t next_nonspace(const std::string& t, std::size_t off) {
@@ -167,105 +159,48 @@ std::size_t next_nonspace(const std::string& t, std::size_t off) {
     if (t[off] != ' ' && t[off] != '\n' && t[off] != '\t') return off;
     ++off;
   }
-  return std::string::npos;
+  return npos;
+}
+
+/// Identifier token whose last character sits at `end` (inclusive).
+std::string token_ending_at(const std::string& t, std::size_t end,
+                            std::size_t* begin_out = nullptr) {
+  std::size_t b = end;
+  while (b > 0 && ident_char(t[b - 1])) --b;
+  if (begin_out != nullptr) *begin_out = b;
+  return t.substr(b, end - b + 1);
+}
+
+bool contains_token(const std::string& haystack, const std::string& tok) {
+  std::size_t pos = 0;
+  while ((pos = haystack.find(tok, pos)) != npos) {
+    const bool l = pos == 0 || !ident_char(haystack[pos - 1]);
+    const std::size_t after = pos + tok.size();
+    const bool r = after >= haystack.size() || !ident_char(haystack[after]);
+    if (l && r) return true;
+    pos = after;
+  }
+  return false;
 }
 
 /// True when the identifier ending right before `off` (skipping one "::")
 /// is `std` or the scope operator is global ("::time(...)").
 bool std_or_global_qualified(const std::string& t, std::size_t ident_off) {
   std::size_t p = prev_nonspace(t, ident_off);
-  if (p == std::string::npos || t[p] != ':' || p == 0 || t[p - 1] != ':')
-    return true;  // unqualified call
+  if (p == npos || t[p] != ':' || p == 0 || t[p - 1] != ':')
+    return true;  // unqualified
   std::size_t q = prev_nonspace(t, p - 1);
-  if (q == std::string::npos || !ident_char(t[q])) return true;  // "::time("
-  std::size_t qe = q + 1;
-  while (q > 0 && ident_char(t[q - 1])) --q;
-  return t.substr(q, qe - q) == "std";
+  if (q == npos || !ident_char(t[q])) return true;  // "::time("
+  return token_ending_at(t, q) == "std";
 }
 
 bool member_access_before(const std::string& t, std::size_t ident_off) {
   std::size_t p = prev_nonspace(t, ident_off);
-  if (p == std::string::npos) return false;
+  if (p == npos) return false;
   if (t[p] == '.') return true;
   if (t[p] == '>' && p > 0 && t[p - 1] == '-') return true;
   return false;
 }
-
-void add(std::vector<Finding>& out, const Stripped& s,
-         const std::string& path, std::size_t off, const char* rule,
-         std::string detail) {
-  int line = s.line_of(off);
-  if (s.allowed(line, rule)) return;
-  out.push_back(Finding{path, line, rule, std::move(detail)});
-}
-
-bool path_contains(const std::string& path, const char* needle) {
-  return path.find(needle) != std::string::npos;
-}
-
-// ---- rule: wall-clock ------------------------------------------------------
-
-void rule_wall_clock(const std::string& path, const Stripped& s,
-                     const std::vector<Ident>& ids,
-                     std::vector<Finding>& out) {
-  static const std::set<std::string> kBanned = {
-      "system_clock",     "steady_clock", "high_resolution_clock",
-      "gettimeofday",     "clock_gettime", "timespec_get",
-      "localtime",        "gmtime",        "mktime",
-      "asctime",          "strftime",      "ftime",
-  };
-  static const std::set<std::string> kCallForm = {"time", "clock"};
-  for (const Ident& id : ids) {
-    if (kBanned.count(id.text) != 0) {
-      add(out, s, path, id.off, "wall-clock",
-          "'" + id.text + "' reads host time; use sim::Simulator::now()");
-      continue;
-    }
-    if (kCallForm.count(id.text) != 0) {
-      std::size_t after = next_nonspace(s.text, id.off + id.text.size());
-      if (after == std::string::npos || s.text[after] != '(') continue;
-      if (member_access_before(s.text, id.off)) continue;
-      if (!std_or_global_qualified(s.text, id.off)) continue;
-      add(out, s, path, id.off, "wall-clock",
-          "'" + id.text + "()' reads host time; use sim::Simulator::now()");
-    }
-  }
-}
-
-// ---- rule: raw-rand --------------------------------------------------------
-
-void rule_raw_rand(const std::string& path, const Stripped& s,
-                   const std::vector<Ident>& ids, std::vector<Finding>& out) {
-  static const std::set<std::string> kBanned = {
-      "rand",       "srand",      "rand_r",     "random",
-      "srandom",    "drand48",    "lrand48",    "mrand48",
-      "srand48",    "random_device", "mt19937", "mt19937_64",
-      "minstd_rand", "minstd_rand0", "default_random_engine",
-      "ranlux24",   "ranlux48",
-  };
-  for (const Ident& id : ids) {
-    if (kBanned.count(id.text) == 0) continue;
-    if (member_access_before(s.text, id.off)) continue;  // x.random(...) etc.
-    add(out, s, path, id.off, "raw-rand",
-        "'" + id.text + "' is platform entropy; use apn::Rng (common/rng.hpp)");
-  }
-}
-
-// ---- rule: std-function ----------------------------------------------------
-
-void rule_std_function(const std::string& path, const Stripped& s,
-                       const std::vector<Ident>& ids,
-                       std::vector<Finding>& out) {
-  for (std::size_t i = 0; i + 1 < ids.size(); ++i) {
-    if (ids[i].text != "std" || ids[i + 1].text != "function") continue;
-    std::size_t between = prev_nonspace(s.text, ids[i + 1].off);
-    if (between == std::string::npos || s.text[between] != ':') continue;
-    add(out, s, path, ids[i].off, "std-function",
-        "std::function in a hot path; use apn::UniqueFn (common/fn.hpp)");
-  }
-}
-
-// ---- rule: ptr-key-iter ----------------------------------------------------
 
 /// Matching close of the template argument list opened at `open` ('<').
 std::size_t match_template(const std::string& t, std::size_t open) {
@@ -281,77 +216,12 @@ std::size_t match_template(const std::string& t, std::size_t open) {
       --depth;
       if (depth == 0) return i;
     } else if (c == ';' || c == '{')
-      return std::string::npos;  // comparison operator, not a template
+      return npos;  // comparison operator, not a template
   }
-  return std::string::npos;
+  return npos;
 }
 
-void rule_ptr_key_iter(const std::string& path, const Stripped& s,
-                       const std::vector<Ident>& ids,
-                       std::vector<Finding>& out) {
-  static const std::set<std::string> kAssoc = {"map", "unordered_map", "set",
-                                               "unordered_set"};
-  // Pass 1: pointer-keyed associative container variable names.
-  std::set<std::string> suspects;
-  for (std::size_t i = 0; i < ids.size(); ++i) {
-    if (kAssoc.count(ids[i].text) == 0) continue;
-    std::size_t lt = next_nonspace(s.text, ids[i].off + ids[i].text.size());
-    if (lt == std::string::npos || s.text[lt] != '<') continue;
-    std::size_t gt = match_template(s.text, lt);
-    if (gt == std::string::npos) continue;
-    // Key type: first depth-0 comma (maps) or the whole list (sets).
-    std::size_t key_end = gt;
-    int depth = 0;
-    for (std::size_t j = lt + 1; j < gt; ++j) {
-      if (s.text[j] == '<') ++depth;
-      else if (s.text[j] == '>') --depth;
-      else if (s.text[j] == ',' && depth == 0) {
-        key_end = j;
-        break;
-      }
-    }
-    std::string key = s.text.substr(lt + 1, key_end - lt - 1);
-    if (key.find('*') == std::string::npos) continue;
-    // Declared variable name: the identifier right after the '>'.
-    std::size_t name_off = next_nonspace(s.text, gt + 1);
-    if (name_off == std::string::npos || !ident_char(s.text[name_off]))
-      continue;
-    std::size_t e = name_off;
-    while (e < s.text.size() && ident_char(s.text[e])) ++e;
-    suspects.insert(s.text.substr(name_off, e - name_off));
-  }
-  if (suspects.empty()) return;
-  // Pass 2: iteration over a suspect — range-for (`: name)`) or
-  // `name.begin(` / `name.cbegin(`.
-  for (std::size_t i = 0; i < ids.size(); ++i) {
-    const Ident& id = ids[i];
-    if (suspects.count(id.text) == 0) continue;
-    std::size_t before = prev_nonspace(s.text, id.off);
-    if (before != std::string::npos && s.text[before] == ':' &&
-        (before == 0 || s.text[before - 1] != ':')) {
-      add(out, s, path, id.off, "ptr-key-iter",
-          "range-for over pointer-keyed container '" + id.text +
-              "': iteration order is ASLR-dependent");
-      continue;
-    }
-    std::size_t dot = next_nonspace(s.text, id.off + id.text.size());
-    if (dot == std::string::npos || s.text[dot] != '.') continue;
-    std::size_t m = next_nonspace(s.text, dot + 1);
-    if (m == std::string::npos) continue;
-    std::size_t me = m;
-    while (me < s.text.size() && ident_char(s.text[me])) ++me;
-    std::string method = s.text.substr(m, me - m);
-    if (method == "begin" || method == "cbegin" || method == "rbegin") {
-      add(out, s, path, id.off, "ptr-key-iter",
-          "iteration over pointer-keyed container '" + id.text +
-              "': iteration order is ASLR-dependent");
-    }
-  }
-}
-
-// ---- rule: detached-coro ---------------------------------------------------
-
-/// Walk backwards from `off` to the matching `open` for `close` brackets.
+/// Walk backwards from `off` (a `close` character) to its matching `open`.
 std::size_t match_back(const std::string& t, std::size_t off, char open,
                        char close) {
   int depth = 0;
@@ -362,74 +232,1142 @@ std::size_t match_back(const std::string& t, std::size_t off, char open,
       if (depth == 0) return i;
     }
   }
-  return std::string::npos;
+  return npos;
 }
 
-void rule_detached_coro(const std::string& path, const Stripped& s,
-                        const std::vector<Ident>& ids,
-                        std::vector<Finding>& out) {
-  for (std::size_t i = 0; i < ids.size(); ++i) {
-    if (ids[i].text != "Coro") continue;
-    // Must be a trailing return type: "-> Coro" or "-> ns::Coro".
-    std::size_t p = prev_nonspace(s.text, ids[i].off);
-    // Skip "ns::" qualifier(s) leftward: ':'':' then the namespace ident.
-    while (p != std::string::npos && s.text[p] == ':' && p > 0 &&
-           s.text[p - 1] == ':') {
-      std::size_t q = prev_nonspace(s.text, p - 1);
-      if (q == std::string::npos || !ident_char(s.text[q])) {
-        p = std::string::npos;
+/// Walk forward from `off` (an `open` character) to its matching `close`.
+std::size_t match_fwd(const std::string& t, std::size_t off, char open,
+                      char close) {
+  int depth = 0;
+  for (std::size_t i = off; i < t.size(); ++i) {
+    if (t[i] == open) ++depth;
+    else if (t[i] == close) {
+      --depth;
+      if (depth == 0) return i;
+    }
+  }
+  return npos;
+}
+
+/// Greatest statement-start offset <= off (0 when none).
+std::size_t stmt_start_of(const FileIR& ir, std::size_t off) {
+  auto it = std::upper_bound(ir.stmt_starts.begin(), ir.stmt_starts.end(), off);
+  if (it == ir.stmt_starts.begin()) return 0;
+  return *(--it);
+}
+
+void add(std::vector<Finding>& out, const FileIR& ir, std::size_t off,
+         const char* rule, std::string detail) {
+  const int line = ir.line_of(off);
+  const int stmt_line = ir.stmt_line_of(off);
+  if (ir.allowed(line, stmt_line, rule)) return;
+  out.push_back(Finding{ir.path, line, rule, std::move(detail)});
+}
+
+void add_at_line(std::vector<Finding>& out, const FileIR& ir, int line,
+                 const char* rule, std::string detail) {
+  if (ir.allowed(line, line, rule)) return;
+  out.push_back(Finding{ir.path, line, rule, std::move(detail)});
+}
+
+// ---------------------------------------------------------------------------
+// Statement index
+// ---------------------------------------------------------------------------
+
+/// Statement boundaries are ';', '{', '}' at paren depth 0, so `for (;;)`
+/// headers and brace-inits inside argument lists do not split statements.
+void build_stmt_index(FileIR& ir) {
+  const std::string& t = ir.text;
+  int paren = 0;
+  std::size_t first = next_nonspace(t, 0);
+  if (first != npos) ir.stmt_starts.push_back(first);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const char c = t[i];
+    if (c == '(') {
+      ++paren;
+    } else if (c == ')') {
+      if (paren > 0) --paren;
+    } else if ((c == ';' || c == '{' || c == '}') && paren == 0) {
+      std::size_t s = next_nonspace(t, i + 1);
+      if (s != npos &&
+          (ir.stmt_starts.empty() || ir.stmt_starts.back() != s))
+        ir.stmt_starts.push_back(s);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Declaration splitting (used for parameters, locals and class members)
+// ---------------------------------------------------------------------------
+
+std::string trim(std::string s) {
+  std::size_t b = s.find_first_not_of(" \t\n");
+  if (b == npos) return "";
+  std::size_t e = s.find_last_not_of(" \t\n");
+  return s.substr(b, e - b + 1);
+}
+
+/// Best-effort `Type name` split of one declaration chunk (text cut at any
+/// initializer). Returns false when the chunk does not look like a decl.
+bool parse_decl_chunk(const std::string& chunk, int line, Decl& out) {
+  std::string text = chunk;
+  for (const char cut : {'=', '[', '{'}) {
+    std::size_t p = text.find(cut);
+    if (p != npos) text.erase(p);
+  }
+  std::vector<Ident> ids = identifiers(text);
+  if (ids.size() < 2) return false;
+  const Ident& name = ids.back();
+  // Bitfield `int x : 3` — digits are skipped by identifiers(), so the name
+  // is already the last *identifier*; nothing extra to do.
+  out.name = name.text;
+  out.type_text = trim(text.substr(0, name.off));
+  out.line = line;
+  return !out.type_text.empty();
+}
+
+// ---------------------------------------------------------------------------
+// Scope walker: classify every '{' into namespace / class / function / other
+// ---------------------------------------------------------------------------
+
+struct Scope {
+  char kind;  // 'n' namespace, 'c' class, 'f' function, 'b' block, 'o' other
+  std::size_t open = 0;
+  int index = -1;  // into ir.functions / ir.classes
+};
+
+std::string first_token(const std::string& s) {
+  std::size_t i = 0;
+  while (i < s.size() && !ident_char(s[i])) ++i;
+  if (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i])) != 0)
+    return "";
+  std::size_t b = i;
+  while (i < s.size() && ident_char(s[i])) ++i;
+  return s.substr(b, i - b);
+}
+
+/// Skip `Ns::` qualifier chains leftwards from the begin of an identifier.
+/// Returns the offset of the first non-space character before the fully
+/// qualified name, or npos.
+std::size_t skip_qualifiers_back(const std::string& t, std::size_t name_begin) {
+  std::size_t q = prev_nonspace(t, name_begin);
+  while (q != npos && t[q] == ':' && q > 0 && t[q - 1] == ':') {
+    std::size_t qq = prev_nonspace(t, q - 1);
+    if (qq == npos || !ident_char(t[qq])) return npos;
+    std::size_t qb;
+    token_ending_at(t, qq, &qb);
+    q = prev_nonspace(t, qb);
+  }
+  return q;
+}
+
+/// Split a parameter list body on top-level commas into Decl entries.
+void parse_params(const FileIR& ir, std::size_t lp, std::size_t rp,
+                  std::vector<Decl>& out) {
+  const std::string& t = ir.text;
+  int angle = 0, paren = 0, brace = 0;
+  std::size_t begin = lp + 1;
+  auto flush = [&](std::size_t end) {
+    if (end <= begin) return;
+    Decl d;
+    if (parse_decl_chunk(t.substr(begin, end - begin),
+                         ir.line_of(begin), d))
+      out.push_back(std::move(d));
+  };
+  for (std::size_t i = lp + 1; i < rp; ++i) {
+    const char c = t[i];
+    if (c == '<') ++angle;
+    else if (c == '>') { if (angle > 0) --angle; }
+    else if (c == '(') ++paren;
+    else if (c == ')') { if (paren > 0) --paren; }
+    else if (c == '{') ++brace;
+    else if (c == '}') { if (brace > 0) --brace; }
+    else if (c == ',' && angle == 0 && paren == 0 && brace == 0) {
+      flush(i);
+      begin = i + 1;
+    }
+  }
+  flush(rp);
+}
+
+struct BraceInfo {
+  char kind = 'o';
+  std::string name;        // function or class name
+  std::size_t name_off = 0;
+  std::size_t lp = npos, rp = npos;  // parameter list (functions)
+};
+
+/// Given a ')' at `rp0` directly before a '{' (after qualifiers), decide
+/// whether this is a control statement, a lambda, or a function definition —
+/// walking backwards through constructor initializer lists when needed.
+BraceInfo analyze_paren_group(const std::string& t, std::size_t rp0) {
+  static const std::set<std::string> kControl = {
+      "if", "for", "while", "switch", "catch", "constexpr", "requires",
+      "decltype", "sizeof", "alignof", "return", "assert"};
+  BraceInfo out;
+  std::size_t rp = rp0;
+  for (int guard = 0; guard < 256; ++guard) {
+    std::size_t lp = match_back(t, rp, '(', ')');
+    if (lp == npos) return out;
+    std::size_t ne = prev_nonspace(t, lp);
+    if (ne == npos) return out;
+    if (t[ne] == ']') {
+      std::size_t lb = match_back(t, ne, '[', ']');
+      out.kind = 'f';
+      out.name_off = lb == npos ? lp : lb;
+      out.lp = lp;
+      out.rp = rp;
+      return out;
+    }
+    if (t[ne] == '>') {  // templated name `foo<T>(...)`
+      std::size_t lt = match_back(t, ne, '<', '>');
+      if (lt == npos) return out;
+      ne = prev_nonspace(t, lt);
+      if (ne == npos || !ident_char(t[ne])) return out;
+    }
+    if (!ident_char(t[ne])) return out;
+    std::size_t nb;
+    std::string name = token_ending_at(t, ne, &nb);
+    if (kControl.count(name) != 0) {
+      out.kind = 'b';
+      return out;
+    }
+    if (name == "noexcept" || name == "alignas") {
+      // `void f() noexcept(true)` — qualifier with arguments: the real
+      // parameter list is the ')' before the qualifier keyword.
+      std::size_t before = prev_nonspace(t, nb);
+      if (before == npos || t[before] != ')') return out;
+      rp = before;
+      continue;
+    }
+    std::size_t q = skip_qualifiers_back(t, nb);
+    if (q != npos &&
+        (t[q] == ',' || (t[q] == ':' && (q == 0 || t[q - 1] != ':')))) {
+      // Constructor initializer-list entry: hop to the previous group.
+      std::size_t prev = prev_nonspace(t, q);
+      if (prev == npos) return out;
+      if (t[prev] == ')' || t[prev] == '}') {
+        rp = prev;
+        if (t[prev] == '}') {
+          // `a_{x},` entry: skip the braces, then its name, then loop on
+          // whatever precedes that name (',' / ':' / the param-list ')').
+          std::size_t ob = match_back(t, prev, '{', '}');
+          if (ob == npos) return out;
+          std::size_t en = prev_nonspace(t, ob);
+          if (en == npos || !ident_char(t[en])) return out;
+          std::size_t eb;
+          token_ending_at(t, en, &eb);
+          std::size_t q2 = skip_qualifiers_back(t, eb);
+          if (q2 == npos) return out;
+          if (t[q2] == ')') {
+            rp = q2;
+          } else if (t[q2] == ',' ||
+                     (t[q2] == ':' && (q2 == 0 || t[q2 - 1] != ':'))) {
+            std::size_t p2 = prev_nonspace(t, q2);
+            if (p2 == npos || (t[p2] != ')' && t[p2] != '}')) return out;
+            rp = p2;
+            if (t[p2] == '}') continue;  // re-handled next iteration
+          } else {
+            return out;
+          }
+        }
+        continue;
+      }
+      return out;
+    }
+    out.kind = 'f';
+    out.name = name;
+    out.name_off = nb;
+    out.lp = lp;
+    out.rp = rp;
+    return out;
+  }
+  return out;
+}
+
+/// Classify the '{' at offset `b`.
+BraceInfo classify_brace(const FileIR& ir, std::size_t b) {
+  const std::string& t = ir.text;
+  BraceInfo out;
+  const std::size_t ss = stmt_start_of(ir, b);
+  const std::string stmt = ss < b ? t.substr(ss, b - ss) : "";
+  const std::string first = first_token(stmt);
+  if (first == "namespace" || first == "extern") {
+    out.kind = 'n';
+    return out;
+  }
+  if (first == "else" || first == "do" || first == "try") {
+    out.kind = 'b';
+    return out;
+  }
+  if (first == "enum" || first == "union") {
+    out.kind = 'o';
+    return out;
+  }
+  const bool has_paren = stmt.find('(') != npos;
+  const bool has_eq = stmt.find('=') != npos;
+  if (!has_paren && !has_eq &&
+      (first == "class" || first == "struct" ||
+       (first == "template" && (contains_token(stmt, "class") ||
+                                contains_token(stmt, "struct"))))) {
+    out.kind = 'c';
+    // Name: the identifier after the last class/struct keyword.
+    std::vector<Ident> ids = identifiers(stmt);
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      if ((ids[i].text == "class" || ids[i].text == "struct") &&
+          i + 1 < ids.size())
+        out.name = ids[i + 1].text;
+    }
+    out.name_off = ss;
+    return out;
+  }
+  std::size_t p = prev_nonspace(t, b);
+  for (int guard = 0; guard < 64; ++guard) {
+    if (p == npos) {
+      out.kind = 'b';
+      return out;
+    }
+    const char pc = t[p];
+    if (pc == ';' || pc == '{') {
+      out.kind = 'b';
+      return out;
+    }
+    if (pc == ']') {  // `[&] {` — capture list with no parameter list
+      out.kind = 'f';
+      std::size_t lb = match_back(t, p, '[', ']');
+      out.name_off = lb == npos ? p : lb;
+      return out;
+    }
+    if (pc == ')') return analyze_paren_group(t, p);
+    if (pc == '}') {
+      // Possibly the last ctor-init entry is a brace-init: `: a_{1} {`.
+      std::size_t ob = match_back(t, p, '{', '}');
+      if (ob != npos) {
+        std::size_t en = prev_nonspace(t, ob);
+        if (en != npos && ident_char(t[en])) {
+          std::size_t eb;
+          token_ending_at(t, en, &eb);
+          std::size_t q = skip_qualifiers_back(t, eb);
+          if (q != npos &&
+              (t[q] == ',' || (t[q] == ':' && (q == 0 || t[q - 1] != ':')))) {
+            std::size_t prev = prev_nonspace(t, q);
+            if (prev != npos && t[prev] == ')')
+              return analyze_paren_group(t, prev);
+          }
+        }
+      }
+      out.kind = 'b';
+      return out;
+    }
+    if (ident_char(pc)) {
+      static const std::set<std::string> kQual = {
+          "const", "noexcept", "override", "final", "mutable", "try"};
+      std::size_t tb;
+      const std::string tok = token_ending_at(t, p, &tb);
+      if (kQual.count(tok) != 0) {
+        p = prev_nonspace(t, tb);
+        continue;
+      }
+      // Trailing return type `-> Ns::Type<...>`? Scan back through the type
+      // to an arrow; if found, resume the qualifier walk before it.
+      std::size_t q = tb;
+      bool arrow = false;
+      for (int g2 = 0; g2 < 32; ++g2) {
+        std::size_t pp = prev_nonspace(t, q);
+        if (pp == npos) break;
+        if (t[pp] == '>' && pp > 0 && t[pp - 1] == '-') {
+          arrow = true;
+          q = pp - 1;
+          break;
+        }
+        if (t[pp] == ':' && pp > 0 && t[pp - 1] == ':') {
+          std::size_t qq = prev_nonspace(t, pp - 1);
+          if (qq == npos || !ident_char(t[qq])) break;
+          token_ending_at(t, qq, &q);
+          continue;
+        }
+        if (t[pp] == '>') {
+          std::size_t lt = match_back(t, pp, '<', '>');
+          if (lt == npos) break;
+          std::size_t qq = prev_nonspace(t, lt);
+          if (qq == npos || !ident_char(t[qq])) break;
+          token_ending_at(t, qq, &q);
+          continue;
+        }
         break;
       }
-      while (q > 0 && ident_char(s.text[q - 1])) --q;
-      p = prev_nonspace(s.text, q);
+      if (arrow) {
+        p = prev_nonspace(t, q);
+        continue;
+      }
+      out.kind = 'o';  // brace-init / `return Foo{...}`
+      return out;
     }
-    if (p == std::string::npos || s.text[p] != '>' || p == 0 ||
-        s.text[p - 1] != '-')
+    out.kind = 'o';
+    return out;
+  }
+  return out;
+}
+
+/// Extract data-member declarations from a class body [open, close].
+void extract_members(const FileIR& ir, ClassIR& cls, std::size_t open,
+                     std::size_t close) {
+  static const std::set<std::string> kSkipFirst = {
+      "public", "private", "protected", "using", "friend",   "typedef",
+      "static", "template", "enum",     "class", "struct",   "namespace",
+      "operator", "virtual", "explicit", "constexpr", "APN_CHECK_ACCESS"};
+  const std::string& t = ir.text;
+  std::string acc;
+  std::size_t acc_off = npos;
+  for (std::size_t i = open + 1; i < close; ++i) {
+    const char c = t[i];
+    if (c == '{') {
+      std::size_t j = match_fwd(t, i, '{', '}');
+      if (j == npos || j > close) return;
+      if (acc.find('(') != npos) acc.clear(), acc_off = npos;  // member fn body
+      i = j;  // nested class bodies are handled by their own scope
       continue;
-    // Before the arrow: the ')' closing the lambda parameter list.
-    std::size_t rp = prev_nonspace(s.text, p - 1);
-    if (rp == std::string::npos || s.text[rp] != ')') continue;
-    std::size_t lp = match_back(s.text, rp, '(', ')');
-    if (lp == std::string::npos) continue;
-    // Before the parameter list: the ']' closing a capture list (if this
-    // is not a lambda, there is none and the finding does not apply).
-    std::size_t rb = prev_nonspace(s.text, lp);
-    if (rb == std::string::npos || s.text[rb] != ']') continue;
-    std::size_t lb = match_back(s.text, rb, '[', ']');
-    if (lb == std::string::npos) continue;
-    std::string captures = s.text.substr(lb + 1, rb - lb - 1);
+    }
+    if (c == ';') {
+      if (acc.find('(') == npos && acc_off != npos) {
+        std::string a = acc;
+        // Drop access-specifier labels glued to the front ("public: int x").
+        for (;;) {
+          std::string f = first_token(a);
+          std::size_t colon = a.find(':');
+          if ((f == "public" || f == "private" || f == "protected") &&
+              colon != npos) {
+            a = a.substr(colon + 1);
+          } else {
+            break;
+          }
+        }
+        const std::string f = first_token(a);
+        if (!f.empty() && kSkipFirst.count(f) == 0) {
+          Decl d;
+          if (parse_decl_chunk(a, 0, d)) {
+            // Line of the *name*, so suppressions sit next to the member.
+            std::size_t name_pos = t.rfind(d.name, i);
+            d.line = ir.line_of(name_pos == npos ? acc_off : name_pos);
+            cls.members.push_back(std::move(d));
+          }
+        }
+      }
+      acc.clear();
+      acc_off = npos;
+      continue;
+    }
+    if (acc_off == npos && c != ' ' && c != '\n' && c != '\t') acc_off = i;
+    acc.push_back(c);
+  }
+}
+
+void build_scopes(FileIR& ir) {
+  const std::string& t = ir.text;
+  std::vector<Scope> stack;
+  std::vector<std::pair<std::size_t, std::size_t>> fn_params;  // per function
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const char c = t[i];
+    if (c == '{') {
+      BraceInfo info = classify_brace(ir, i);
+      Scope s{info.kind, i, -1};
+      if (info.kind == 'f') {
+        FunctionIR fn;
+        fn.name = info.name;
+        fn.line = ir.line_of(info.name_off);
+        fn.body_begin = i;
+        fn.body_end = t.size() > 0 ? t.size() - 1 : 0;
+        if (!info.name.empty()) {
+          std::size_t ss = stmt_start_of(ir, info.name_off);
+          if (ss < info.name_off)
+            fn.decl_text = t.substr(ss, info.name_off - ss);
+          fn.hot = contains_token(fn.decl_text, "APN_HOT");
+        }
+        if (info.lp != npos && info.rp != npos && !info.name.empty())
+          parse_params(ir, info.lp, info.rp, fn.locals);
+        s.index = static_cast<int>(ir.functions.size());
+        ir.functions.push_back(std::move(fn));
+      } else if (info.kind == 'c') {
+        ClassIR cls;
+        cls.name = info.name;
+        cls.line = ir.line_of(info.name_off);
+        cls.body_begin = i;
+        cls.body_end = t.size() > 0 ? t.size() - 1 : 0;
+        s.index = static_cast<int>(ir.classes.size());
+        ir.classes.push_back(std::move(cls));
+      }
+      stack.push_back(s);
+    } else if (c == '}') {
+      if (stack.empty()) continue;
+      Scope s = stack.back();
+      stack.pop_back();
+      if (s.kind == 'f') {
+        ir.functions[static_cast<std::size_t>(s.index)].body_end = i;
+      } else if (s.kind == 'c') {
+        ir.classes[static_cast<std::size_t>(s.index)].body_end = i;
+        extract_members(ir, ir.classes[static_cast<std::size_t>(s.index)],
+                        s.open, i);
+      }
+    }
+  }
+}
+
+/// Index of the innermost function whose body contains `off`, or -1.
+int innermost_function(const FileIR& ir, std::size_t off) {
+  // Functions are recorded in body_begin order; walk back from the last
+  // candidate until one actually encloses the offset.
+  int best = -1;
+  for (std::size_t i = ir.functions.size(); i-- > 0;) {
+    const FunctionIR& f = ir.functions[i];
+    if (f.body_begin < off && off < f.body_end) {
+      best = static_cast<int>(i);
+      break;
+    }
+  }
+  return best;
+}
+
+void build_calls(FileIR& ir) {
+  static const std::set<std::string> kNotCall = {
+      "if",        "for",       "while",     "switch",      "return",
+      "co_return", "co_yield",  "co_await",  "sizeof",      "alignof",
+      "new",       "delete",    "catch",     "throw",       "noexcept",
+      "decltype",  "alignas",   "requires",  "template",    "operator",
+      "assert",    "defined",   "static_assert"};
+  const std::string& t = ir.text;
+  for (const Ident& id : identifiers(t)) {
+    if (id.text == "co_await") {
+      int fi = innermost_function(ir, id.off);
+      if (fi >= 0)
+        ir.functions[static_cast<std::size_t>(fi)].co_awaits.push_back(id.off);
+      continue;
+    }
+    if (kNotCall.count(id.text) != 0) continue;
+    std::size_t after = next_nonspace(t, id.off + id.text.size());
+    if (after == npos || t[after] != '(') continue;
+    std::size_t close = match_fwd(t, after, '(', ')');
+    if (close == npos) continue;
+    int fi = innermost_function(ir, id.off);
+    if (fi < 0) continue;
+    Call call;
+    call.callee = id.text;
+    call.off = id.off;
+    call.close = close;
+    call.member_access = member_access_before(t, id.off);
+    call.line = ir.line_of(id.off);
+    ir.functions[static_cast<std::size_t>(fi)].calls.push_back(std::move(call));
+  }
+}
+
+/// Best-effort single-token-type local declarations (`Time t = ...`).
+void build_locals(FileIR& ir) {
+  const std::string& t = ir.text;
+  for (std::size_t s : ir.stmt_starts) {
+    int fi = innermost_function(ir, s);
+    if (fi < 0) continue;
+    std::size_t p = s;
+    std::string tok1;
+    for (int g = 0; g < 4; ++g) {  // skip cv/storage tokens
+      if (p >= t.size() || !ident_char(t[p]) ||
+          std::isdigit(static_cast<unsigned char>(t[p])) != 0)
+        break;
+      std::size_t e = p;
+      while (e < t.size() && ident_char(t[e])) ++e;
+      std::string tok = t.substr(p, e - p);
+      if (tok == "const" || tok == "constexpr" || tok == "static" ||
+          tok == "auto") {
+        std::size_t nx = next_nonspace(t, e);
+        if (nx == npos) break;
+        p = nx;
+        continue;
+      }
+      tok1 = tok;
+      p = e;
+      break;
+    }
+    if (tok1.empty()) continue;
+    std::size_t n1 = next_nonspace(t, p);
+    if (n1 == npos || !ident_char(t[n1]) ||
+        std::isdigit(static_cast<unsigned char>(t[n1])) != 0)
+      continue;
+    std::size_t e1 = n1;
+    while (e1 < t.size() && ident_char(t[e1])) ++e1;
+    std::size_t n2 = next_nonspace(t, e1);
+    if (n2 == npos) continue;
+    const char c2 = t[n2];
+    if (c2 != '=' && c2 != ';' && c2 != '(' && c2 != '{') continue;
+    Decl d;
+    d.type_text = tok1;
+    d.name = t.substr(n1, e1 - n1);
+    d.line = ir.line_of(n1);
+    ir.functions[static_cast<std::size_t>(fi)].locals.push_back(std::move(d));
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// FileIR methods + parse()
+// ---------------------------------------------------------------------------
+
+int FileIR::line_of(std::size_t off) const {
+  auto it = std::upper_bound(line_starts.begin(), line_starts.end(), off);
+  return static_cast<int>(it - line_starts.begin());
+}
+
+int FileIR::stmt_line_of(std::size_t off) const {
+  return line_of(stmt_start_of(*this, off));
+}
+
+bool FileIR::allowed(int line, int stmt_line, const std::string& rule) const {
+  for (int l : {line, line - 1, stmt_line, stmt_line - 1}) {
+    if (l >= 1 && allows.count({l, rule}) != 0) return true;
+  }
+  return false;
+}
+
+FileIR parse(const std::string& path, const std::string& source) {
+  FileIR ir;
+  ir.path = path;
+  strip_into(source, ir);
+  build_stmt_index(ir);
+  build_scopes(ir);
+  build_calls(ir);
+  build_locals(ir);
+  return ir;
+}
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// ---- rule: wall-clock ------------------------------------------------------
+
+void rule_wall_clock(const FileIR& ir, const std::vector<Ident>& ids,
+                     std::vector<Finding>& out) {
+  static const std::set<std::string> kBanned = {
+      "system_clock",     "steady_clock", "high_resolution_clock",
+      "gettimeofday",     "clock_gettime", "timespec_get",
+      "localtime",        "gmtime",        "mktime",
+      "asctime",          "strftime",      "ftime",
+  };
+  static const std::set<std::string> kCallForm = {"time", "clock"};
+  for (const Ident& id : ids) {
+    if (kBanned.count(id.text) != 0) {
+      add(out, ir, id.off, "wall-clock",
+          "'" + id.text + "' reads host time; use sim::Simulator::now()");
+      continue;
+    }
+    if (kCallForm.count(id.text) != 0) {
+      std::size_t after = next_nonspace(ir.text, id.off + id.text.size());
+      if (after == npos || ir.text[after] != '(') continue;
+      if (member_access_before(ir.text, id.off)) continue;
+      if (!std_or_global_qualified(ir.text, id.off)) continue;
+      // `long long time() const` *declares* a function named time(); a
+      // call expression is never directly preceded by a bare identifier
+      // (call-introducing keywords aside).
+      std::size_t pb = prev_nonspace(ir.text, id.off);
+      if (pb != npos && ident_char(ir.text[pb])) {
+        static const std::set<std::string> kPreCall = {
+            "return", "co_return", "co_await", "co_yield", "throw", "case"};
+        std::size_t b;
+        if (kPreCall.count(token_ending_at(ir.text, pb, &b)) == 0) continue;
+      }
+      add(out, ir, id.off, "wall-clock",
+          "'" + id.text + "()' reads host time; use sim::Simulator::now()");
+    }
+  }
+}
+
+// ---- rule: raw-rand --------------------------------------------------------
+
+void rule_raw_rand(const FileIR& ir, const std::vector<Ident>& ids,
+                   std::vector<Finding>& out) {
+  static const std::set<std::string> kBanned = {
+      "rand",       "srand",      "rand_r",     "random",
+      "srandom",    "drand48",    "lrand48",    "mrand48",
+      "srand48",    "random_device", "mt19937", "mt19937_64",
+      "minstd_rand", "minstd_rand0", "default_random_engine",
+      "ranlux24",   "ranlux48",
+  };
+  for (const Ident& id : ids) {
+    if (kBanned.count(id.text) == 0) continue;
+    if (member_access_before(ir.text, id.off)) continue;  // x.random(...)
+    add(out, ir, id.off, "raw-rand",
+        "'" + id.text + "' is platform entropy; use apn::Rng (common/rng.hpp)");
+  }
+}
+
+// ---- rule: std-function ----------------------------------------------------
+
+void rule_std_function(const FileIR& ir, const std::vector<Ident>& ids,
+                       std::vector<Finding>& out) {
+  for (std::size_t i = 0; i + 1 < ids.size(); ++i) {
+    if (ids[i].text != "std" || ids[i + 1].text != "function") continue;
+    std::size_t between = prev_nonspace(ir.text, ids[i + 1].off);
+    if (between == npos || ir.text[between] != ':') continue;
+    add(out, ir, ids[i].off, "std-function",
+        "std::function in a hot path; use apn::UniqueFn (common/fn.hpp)");
+  }
+}
+
+// ---- rule: ptr-key-iter ----------------------------------------------------
+
+void rule_ptr_key_iter(const FileIR& ir, const std::vector<Ident>& ids,
+                       std::vector<Finding>& out) {
+  static const std::set<std::string> kAssoc = {"map", "unordered_map", "set",
+                                               "unordered_set"};
+  const std::string& t = ir.text;
+  std::set<std::string> suspects;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (kAssoc.count(ids[i].text) == 0) continue;
+    std::size_t lt = next_nonspace(t, ids[i].off + ids[i].text.size());
+    if (lt == npos || t[lt] != '<') continue;
+    std::size_t gt = match_template(t, lt);
+    if (gt == npos) continue;
+    std::size_t key_end = gt;
+    int depth = 0;
+    for (std::size_t j = lt + 1; j < gt; ++j) {
+      if (t[j] == '<') ++depth;
+      else if (t[j] == '>') --depth;
+      else if (t[j] == ',' && depth == 0) {
+        key_end = j;
+        break;
+      }
+    }
+    std::string key = t.substr(lt + 1, key_end - lt - 1);
+    if (key.find('*') == npos) continue;
+    std::size_t name_off = next_nonspace(t, gt + 1);
+    // Reference/pointer declarators sit between the template and the
+    // variable name (`const std::map<Node*, int>& weights`).
+    while (name_off != npos &&
+           (t[name_off] == '&' || t[name_off] == '*'))
+      name_off = next_nonspace(t, name_off + 1);
+    if (name_off == npos || !ident_char(t[name_off])) continue;
+    std::size_t e = name_off;
+    while (e < t.size() && ident_char(t[e])) ++e;
+    suspects.insert(t.substr(name_off, e - name_off));
+  }
+  if (suspects.empty()) return;
+  for (const Ident& id : ids) {
+    if (suspects.count(id.text) == 0) continue;
+    std::size_t before = prev_nonspace(t, id.off);
+    if (before != npos && t[before] == ':' &&
+        (before == 0 || t[before - 1] != ':')) {
+      add(out, ir, id.off, "ptr-key-iter",
+          "range-for over pointer-keyed container '" + id.text +
+              "': iteration order is ASLR-dependent");
+      continue;
+    }
+    std::size_t dot = next_nonspace(t, id.off + id.text.size());
+    if (dot == npos || t[dot] != '.') continue;
+    std::size_t m = next_nonspace(t, dot + 1);
+    if (m == npos) continue;
+    std::size_t me = m;
+    while (me < t.size() && ident_char(t[me])) ++me;
+    std::string method = t.substr(m, me - m);
+    if (method == "begin" || method == "cbegin" || method == "rbegin") {
+      add(out, ir, id.off, "ptr-key-iter",
+          "iteration over pointer-keyed container '" + id.text +
+              "': iteration order is ASLR-dependent");
+    }
+  }
+}
+
+// ---- rule: detached-coro ---------------------------------------------------
+
+void rule_detached_coro(const FileIR& ir, const std::vector<Ident>& ids,
+                        std::vector<Finding>& out) {
+  const std::string& t = ir.text;
+  for (const Ident& id : ids) {
+    if (id.text != "Coro") continue;
+    std::size_t p = prev_nonspace(t, id.off);
+    while (p != npos && t[p] == ':' && p > 0 && t[p - 1] == ':') {
+      std::size_t q = prev_nonspace(t, p - 1);
+      if (q == npos || !ident_char(t[q])) {
+        p = npos;
+        break;
+      }
+      while (q > 0 && ident_char(t[q - 1])) --q;
+      p = prev_nonspace(t, q);
+    }
+    if (p == npos || t[p] != '>' || p == 0 || t[p - 1] != '-') continue;
+    std::size_t rp = prev_nonspace(t, p - 1);
+    if (rp == npos || t[rp] != ')') continue;
+    std::size_t lp = match_back(t, rp, '(', ')');
+    if (lp == npos) continue;
+    std::size_t rb = prev_nonspace(t, lp);
+    if (rb == npos || t[rb] != ']') continue;
+    std::size_t lb = match_back(t, rb, '[', ']');
+    if (lb == npos) continue;
+    std::string captures = t.substr(lb + 1, rb - lb - 1);
     captures.erase(std::remove_if(captures.begin(), captures.end(),
                                   [](char c) {
                                     return c == ' ' || c == '\n' || c == '\t';
                                   }),
                    captures.end());
     if (captures.empty()) continue;  // repo idiom: params own the state
-    add(out, s, path, lb, "detached-coro",
+    add(out, ir, lb, "detached-coro",
         "capturing lambda returning a coroutine: captures die with the "
         "lambda temporary while the frame lives on; pass state as "
         "parameters instead");
   }
 }
 
+// ---- rule: dropped-awaitable -----------------------------------------------
+
+void rule_dropped_awaitable(const FileIR& ir, const ProjectContext& ctx,
+                            std::vector<Finding>& out) {
+  static const std::set<std::string> kFree = {"delay", "yield"};
+  static const std::set<std::string> kMethod = {"wait", "acquire", "use",
+                                                "transfer", "pop"};
+  const std::string& t = ir.text;
+  for (const FunctionIR& f : ir.functions) {
+    for (const Call& c : f.calls) {
+      bool target = false;
+      if (!c.member_access && kFree.count(c.callee) != 0) target = true;
+      else if (c.member_access && kMethod.count(c.callee) != 0) target = true;
+      else if (ctx.awaitable_fns.count(c.callee) != 0) target = true;
+      if (!target) continue;
+      // ss == c.off is the bare-call-at-statement-start case (empty
+      // prefix); only a call *before* its own statement start is bogus.
+      std::size_t ss = stmt_start_of(ir, c.off);
+      if (ss > c.off) continue;
+      std::string prefix = t.substr(ss, c.off - ss);
+      if (prefix.find('=') != npos || prefix.find('(') != npos) continue;
+      if (contains_token(prefix, "co_await") ||
+          contains_token(prefix, "co_return") ||
+          contains_token(prefix, "co_yield") ||
+          contains_token(prefix, "return"))
+        continue;
+      std::size_t after = next_nonspace(t, c.close + 1);
+      if (after == npos || t[after] != ';') continue;
+      add(out, ir, c.off, "dropped-awaitable",
+          "'" + c.callee +
+              "(...)' returns an awaitable that is discarded without "
+              "co_await: the wait silently never happens");
+    }
+  }
+}
+
+// ---- rule: unit-mix --------------------------------------------------------
+
+void rule_unit_mix(const FileIR& ir, const std::vector<Ident>& ids,
+                   std::vector<Finding>& out) {
+  const std::string& t = ir.text;
+  std::set<std::string> time_vars, byte_vars;
+  for (std::size_t i = 0; i + 1 < ids.size(); ++i) {
+    const bool is_time = ids[i].text == "Time";
+    const bool is_bytes = ids[i].text == "Bytes";
+    if (!is_time && !is_bytes) continue;
+    // Require the next identifier to follow directly (only space/&/* between)
+    // so `Time` in template args or comments does not pollute the sets.
+    std::size_t gap_b = ids[i].off + ids[i].text.size();
+    bool direct = true;
+    for (std::size_t j = gap_b; j < ids[i + 1].off; ++j) {
+      const char c = t[j];
+      if (c != ' ' && c != '\n' && c != '\t' && c != '&' && c != '*') {
+        direct = false;
+        break;
+      }
+    }
+    if (!direct) continue;
+    const std::string& name = ids[i + 1].text;
+    static const std::set<std::string> kNotVar = {"const", "operator"};
+    if (kNotVar.count(name) != 0) continue;
+    (is_time ? time_vars : byte_vars).insert(name);
+  }
+  auto is_byte_name = [&](const std::string& tok) {
+    return byte_vars.count(tok) != 0 || tok == "bytes" ||
+           ends_with(tok, "_bytes") || tok.rfind("bytes_", 0) == 0;
+  };
+  // Drop ambiguous names (declared as both).
+  for (const std::string& n : byte_vars)
+    if (time_vars.count(n) != 0) time_vars.erase(n);
+  if (time_vars.empty()) return;
+
+  enum class Cat { kNone, kTime, kByte, kLit };
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    const char c = t[i];
+    if (c != '+' && c != '-') continue;
+    if (t[i + 1] == c || (i > 0 && t[i - 1] == c)) continue;  // ++ / --
+    if (c == '-' && t[i + 1] == '>') continue;                // ->
+    const bool compound = t[i + 1] == '=';
+    // Left operand.
+    std::size_t lp = prev_nonspace(t, i);
+    if (lp == npos || !ident_char(t[lp])) continue;
+    std::size_t lb;
+    const std::string tokL = token_ending_at(t, lp, &lb);
+    Cat catL = Cat::kNone;
+    if (std::isdigit(static_cast<unsigned char>(tokL[0])) != 0) {
+      const char last = tokL.back();
+      if (last == 'e' || last == 'E') continue;  // float exponent `1e-9`
+      if (tokL == "0" || tokL == "1") continue;
+      std::size_t before = prev_nonspace(t, lb);
+      if (before != npos && (t[before] == '*' || t[before] == '/' ||
+                             t[before] == '.'))
+        continue;  // scaled literal (`n * t`) or float fraction
+      catL = Cat::kLit;
+    } else if (time_vars.count(tokL) != 0) {
+      catL = Cat::kTime;
+    } else if (is_byte_name(tokL)) {
+      catL = Cat::kByte;
+    }
+    if (catL == Cat::kNone) continue;
+    // Right operand.
+    std::size_t rp = next_nonspace(t, i + (compound ? 2 : 1));
+    if (rp == npos || !ident_char(t[rp])) continue;
+    std::size_t re = rp;
+    while (re < t.size() && ident_char(t[re])) ++re;
+    const std::string tokR = t.substr(rp, re - rp);
+    Cat catR = Cat::kNone;
+    if (std::isdigit(static_cast<unsigned char>(tokR[0])) != 0) {
+      if (tokR == "0" || tokR == "1") continue;
+      std::size_t after = next_nonspace(t, re);
+      if (after != npos && (t[after] == '*' || t[after] == '/' ||
+                            t[after] == '.' || t[after] == 'e'))
+        continue;  // scaled literal (`6 * units::us(8)`) or float
+      catR = Cat::kLit;
+    } else {
+      std::size_t after = next_nonspace(t, re);
+      if (after != npos && (t[after] == '(' || t[after] == ':')) continue;
+      if (time_vars.count(tokR) != 0) catR = Cat::kTime;
+      else if (is_byte_name(tokR)) catR = Cat::kByte;
+    }
+    if (catR == Cat::kNone) continue;
+    const bool bad =
+        (catL == Cat::kTime && (catR == Cat::kByte || catR == Cat::kLit)) ||
+        (catR == Cat::kTime && (catL == Cat::kByte || catL == Cat::kLit));
+    if (!bad) continue;
+    const char* what =
+        (catL == Cat::kByte || catR == Cat::kByte)
+            ? "mixes a Time variable with a byte count"
+            : "mixes a Time variable with a bare integer literal";
+    add(out, ir, i, "unit-mix",
+        std::string("'") + tokL + " " + (compound ? std::string(1, c) + "=" :
+        std::string(1, c)) + " " + tokR + "' " + what +
+            "; Time is picoseconds — convert via units:: helpers");
+  }
+}
+
+// ---- rule: check-coverage --------------------------------------------------
+
+bool state_like_member(const Decl& m) {
+  static const std::set<std::string> kDisqualify = {
+      "const",    "static",    "constexpr", "StateCell", "Track",
+      "Counter",  "Resource",  "Simulator", "UniqueFn",  "Fn",
+      "function", "Coro",      "Future",    "Signal",    "Gate",
+      "Semaphore", "CreditPool", "Channel", "Queue",     "Stream",
+      "string",   "string_view", "mutable"};
+  static const std::set<std::string> kState = {
+      "int",      "unsigned", "long",     "short",    "bool",
+      "size_t",   "int8_t",   "int16_t",  "int32_t",  "int64_t",
+      "uint8_t",  "uint16_t", "uint32_t", "uint64_t", "Time",
+      "Bytes",    "Rate",     "double",   "float",    "vector",
+      "deque",    "map",      "unordered_map", "set", "unordered_set",
+      "list",     "array",    "optional"};
+  if (m.type_text.find('*') != npos || m.type_text.find('&') != npos)
+    return false;
+  bool stateish = false;
+  for (const Ident& id : identifiers(m.type_text)) {
+    if (kDisqualify.count(id.text) != 0) return false;
+    if (kState.count(id.text) != 0) stateish = true;
+  }
+  return stateish;
+}
+
+void rule_check_coverage(const FileIR& ir, const ProjectContext& ctx,
+                         std::vector<Finding>& out) {
+  if (!(ends_with(ir.path, ".hpp") || ends_with(ir.path, ".h") ||
+        ends_with(ir.path, ".hh")))
+    return;
+  if (!path_contains(ir.path, "src/")) return;
+  for (const ClassIR& cls : ir.classes) {
+    auto instrumented = [&](const Decl& m) {
+      return m.type_text.find("StateCell") != npos ||
+             ctx.instrumented.count(m.name) != 0 ||
+             ctx.instrumented_scoped.count(cls.name + "::" + m.name) != 0;
+    };
+    bool participates = ctx.instrumented_classes.count(cls.name) != 0;
+    for (const Decl& m : cls.members) {
+      if (instrumented(m)) {
+        participates = true;
+        break;
+      }
+    }
+    if (!participates) continue;
+    for (const Decl& m : cls.members) {
+      if (instrumented(m)) continue;
+      if (!state_like_member(m)) continue;
+      add_at_line(out, ir, m.line, "check-coverage",
+                  "member '" + cls.name + "::" + m.name + "' (" + m.type_text +
+                      ") is mutable sim state in a race-checked class but is "
+                      "never instrumented (StateCell / APN_CHECK_ACCESS)");
+    }
+  }
+}
+
+// ---- rule: hot-path-alloc --------------------------------------------------
+
+void rule_hot_path_alloc(const FileIR& ir, const std::vector<Ident>& ids,
+                         std::vector<Finding>& out) {
+  static const std::set<std::string> kMallocFamily = {
+      "malloc", "calloc", "realloc", "strdup", "aligned_alloc"};
+  const std::string& t = ir.text;
+  for (const FunctionIR& f : ir.functions) {
+    if (!f.hot) continue;
+    for (const Ident& id : ids) {
+      if (id.off <= f.body_begin) continue;
+      if (id.off >= f.body_end) break;
+      std::string why;
+      if (id.text == "new") {
+        std::size_t after = next_nonspace(t, id.off + 3);
+        if (after != npos && t[after] == '(') continue;  // placement new
+        std::size_t before = prev_nonspace(t, id.off);
+        if (before != npos && ident_char(t[before]) &&
+            token_ending_at(t, before) == "operator")
+          continue;
+        why = "'new'";
+      } else if (kMallocFamily.count(id.text) != 0) {
+        std::size_t after = next_nonspace(t, id.off + id.text.size());
+        if (after == npos || t[after] != '(') continue;
+        if (member_access_before(t, id.off)) continue;
+        why = "'" + id.text + "()'";
+      } else if (id.text == "make_unique" || id.text == "make_shared") {
+        std::size_t after = next_nonspace(t, id.off + id.text.size());
+        if (after == npos || (t[after] != '<' && t[after] != '(')) continue;
+        why = "'" + id.text + "'";
+      } else {
+        continue;
+      }
+      add(out, ir, id.off, "hot-path-alloc",
+          why + " allocates inside APN_HOT function '" +
+              (f.name.empty() ? std::string("<lambda>") : f.name) +
+              "'; the hot path is allocation-free by contract");
+    }
+  }
+}
+
 }  // namespace
 
-std::vector<Finding> lint_source(const std::string& path,
-                                 const std::string& source) {
-  std::vector<Finding> out;
-  Stripped s = strip(source);
-  std::vector<Ident> ids = identifiers(s.text);
+// ---------------------------------------------------------------------------
+// Two-phase analysis entry points
+// ---------------------------------------------------------------------------
 
-  const bool rng_exempt = path_contains(path, "common/rng");
+void scan_declarations(const FileIR& ir, ProjectContext& ctx) {
+  const std::string& t = ir.text;
+  // Awaiter-returning functions.
+  for (const FunctionIR& f : ir.functions) {
+    if (f.name.empty()) continue;
+    if (f.decl_text.find("Awaiter") != npos ||
+        f.decl_text.find("Awaitable") != npos) {
+      ctx.awaitable_fns.insert(f.name);
+      continue;
+    }
+    // `auto wait() { return WaitAwaiter{...}; }`
+    for (const Ident& id : identifiers(
+             t.substr(f.body_begin, f.body_end - f.body_begin))) {
+      if (id.text != "return") continue;
+      std::size_t abs = f.body_begin + id.off + id.text.size();
+      std::size_t nx = next_nonspace(t, abs);
+      if (nx == npos || !ident_char(t[nx])) continue;
+      std::size_t e = nx;
+      while (e < t.size() && ident_char(t[e])) ++e;
+      const std::string ret = t.substr(nx, e - nx);
+      if (ends_with(ret, "Awaiter") || ends_with(ret, "Awaitable")) {
+        ctx.awaitable_fns.insert(f.name);
+        break;
+      }
+    }
+  }
+  // APN_CHECK_ACCESS(first_arg, ...) — the last identifier of the first
+  // argument is the member name (handles `a.arrived`, `xfer->bytes`). When
+  // the owning class is derivable (bare name inside a `Class::method`
+  // definition or an inline method within a class body) the entry is scoped
+  // to that class so same-named members elsewhere stay independent.
+  std::size_t pos = 0;
+  while ((pos = t.find("APN_CHECK_ACCESS", pos)) != npos) {
+    const std::size_t at = pos;
+    std::size_t open = next_nonspace(t, pos + 16);
+    pos += 16;
+    if (open == npos || t[open] != '(') continue;
+    // Skip the macro's own #define.
+    std::size_t ls = at;
+    while (ls > 0 && t[ls - 1] != '\n') --ls;
+    if (t.substr(ls, at - ls).find("#define") != npos) continue;
+    std::size_t comma = t.find(',', open);
+    std::size_t close = t.find(')', open);
+    std::size_t end = std::min(comma, close);
+    if (end == npos) continue;
+    const std::string arg_text = t.substr(open + 1, end - open - 1);
+    std::vector<Ident> arg = identifiers(arg_text);
+    if (arg.empty()) continue;
+    const std::string name = arg.back().text;
+    const bool foreign =
+        arg_text.find('.') != npos || arg_text.find("->") != npos;
+    std::string owner;
+    if (!foreign) {
+      // Owner from the enclosing method's `Class::` qualifier...
+      int fi = innermost_function(ir, at);
+      if (fi >= 0) {
+        const std::string& d =
+            ir.functions[static_cast<std::size_t>(fi)].decl_text;
+        std::string dt = trim(d);
+        if (ends_with(dt, "::")) {
+          std::vector<Ident> dq = identifiers(dt);
+          if (!dq.empty()) owner = dq.back().text;
+        }
+      }
+      // ...or from the enclosing class body (inline method).
+      if (owner.empty()) {
+        for (const ClassIR& cls : ir.classes) {
+          if (cls.body_begin < at && at < cls.body_end && !cls.name.empty())
+            owner = cls.name;  // innermost wins: classes nest in open order
+        }
+      }
+    }
+    if (foreign || owner.empty()) {
+      ctx.instrumented.insert(name);
+    } else {
+      ctx.instrumented_scoped.insert(owner + "::" + name);
+      ctx.instrumented_classes.insert(owner);
+    }
+  }
+  // StateCell members.
+  for (const ClassIR& cls : ir.classes) {
+    bool any = false;
+    for (const Decl& m : cls.members) {
+      if (m.type_text.find("StateCell") != npos) {
+        if (cls.name.empty()) ctx.instrumented.insert(m.name);
+        else ctx.instrumented_scoped.insert(cls.name + "::" + m.name);
+        any = true;
+      }
+    }
+    if (any && !cls.name.empty()) ctx.instrumented_classes.insert(cls.name);
+  }
+}
+
+std::vector<Finding> lint_ir(const FileIR& ir, const ProjectContext& ctx) {
+  std::vector<Finding> out;
+  std::vector<Ident> ids = identifiers(ir.text);
+
+  const bool rng_exempt = path_contains(ir.path, "common/rng");
   if (!rng_exempt) {
-    rule_wall_clock(path, s, ids, out);
-    rule_raw_rand(path, s, ids, out);
+    rule_wall_clock(ir, ids, out);
+    rule_raw_rand(ir, ids, out);
   }
-  if (path_contains(path, "src/sim") || path_contains(path, "src/core") ||
-      path_contains(path, "src/pcie")) {
-    rule_std_function(path, s, ids, out);
+  if (path_contains(ir.path, "src/sim") || path_contains(ir.path, "src/core") ||
+      path_contains(ir.path, "src/pcie")) {
+    rule_std_function(ir, ids, out);
   }
-  rule_ptr_key_iter(path, s, ids, out);
-  rule_detached_coro(path, s, ids, out);
+  rule_ptr_key_iter(ir, ids, out);
+  rule_detached_coro(ir, ids, out);
+  rule_dropped_awaitable(ir, ctx, out);
+  if (!path_contains(ir.path, "common/units")) rule_unit_mix(ir, ids, out);
+  rule_check_coverage(ir, ctx, out);
+  rule_hot_path_alloc(ir, ids, out);
 
   std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
     return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
@@ -437,18 +1375,35 @@ std::vector<Finding> lint_source(const std::string& path,
   return out;
 }
 
-bool lint_file(const std::string& path, std::vector<Finding>& out) {
+std::vector<Finding> lint_source(const std::string& path,
+                                 const std::string& source) {
+  FileIR ir = parse(path, source);
+  ProjectContext ctx;
+  scan_declarations(ir, ctx);
+  return lint_ir(ir, ctx);
+}
+
+bool read_file(const std::string& path, std::string& out) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return false;
-  std::string src;
   char buf[65536];
   std::size_t n;
-  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) src.append(buf, n);
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
   std::fclose(f);
+  return true;
+}
+
+bool lint_file(const std::string& path, std::vector<Finding>& out) {
+  std::string src;
+  if (!read_file(path, src)) return false;
   std::vector<Finding> found = lint_source(path, src);
   out.insert(out.end(), found.begin(), found.end());
   return true;
 }
+
+// ---------------------------------------------------------------------------
+// Baseline ratchet
+// ---------------------------------------------------------------------------
 
 Baseline parse_baseline(const std::string& text) {
   Baseline out;
@@ -456,11 +1411,11 @@ Baseline parse_baseline(const std::string& text) {
   std::string line;
   while (std::getline(ss, line)) {
     std::size_t hash = line.find('#');
-    if (hash != std::string::npos) line.erase(hash);
+    if (hash != npos) line.erase(hash);
     std::size_t a = line.find('|');
-    if (a == std::string::npos) continue;
+    if (a == npos) continue;
     std::size_t b = line.find('|', a + 1);
-    if (b == std::string::npos) continue;
+    if (b == npos) continue;
     std::string path = line.substr(0, a);
     std::string rule = line.substr(a + 1, b - a - 1);
     int count = std::atoi(line.c_str() + b + 1);
@@ -503,6 +1458,108 @@ std::vector<Finding> apply_baseline(const std::vector<Finding>& findings,
     }
   }
   return fresh;
+}
+
+// ---------------------------------------------------------------------------
+// SARIF output
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+struct RuleMeta {
+  const char* id;
+  const char* description;
+};
+
+constexpr RuleMeta kRules[] = {
+    {"wall-clock", "Host wall-clock read; simulation time must come from "
+                   "sim::Simulator"},
+    {"raw-rand", "Platform entropy; all randomness must flow through "
+                 "apn::Rng"},
+    {"std-function", "std::function in a hot path; use apn::UniqueFn"},
+    {"ptr-key-iter", "Iteration over a pointer-keyed container is "
+                     "ASLR-dependent"},
+    {"detached-coro", "Capturing lambda returning a coroutine: captures "
+                      "dangle after the call"},
+    {"dropped-awaitable", "Awaitable discarded without co_await; the wait "
+                          "never happens"},
+    {"unit-mix", "Additive arithmetic mixing Time with byte counts or bare "
+                 "literals"},
+    {"check-coverage", "Mutable state member of a race-checked class is not "
+                       "instrumented"},
+    {"hot-path-alloc", "Heap allocation inside an APN_HOT function"},
+};
+
+}  // namespace
+
+std::string format_sarif(const std::vector<Finding>& findings) {
+  std::string out;
+  out +=
+      "{\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/"
+      "sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n"
+      "  \"runs\": [\n"
+      "    {\n"
+      "      \"tool\": {\n"
+      "        \"driver\": {\n"
+      "          \"name\": \"apn-lint\",\n"
+      "          \"informationUri\": \"tools/apn-lint/lint.hpp\",\n"
+      "          \"rules\": [\n";
+  bool first = true;
+  for (const RuleMeta& r : kRules) {
+    if (!first) out += ",\n";
+    first = false;
+    out += std::string("            {\"id\": \"") + r.id +
+           "\", \"shortDescription\": {\"text\": \"" +
+           json_escape(r.description) + "\"}}";
+  }
+  out +=
+      "\n          ]\n"
+      "        }\n"
+      "      },\n"
+      "      \"results\": [\n";
+  first = true;
+  for (const Finding& f : findings) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "        {\"ruleId\": \"" + json_escape(f.rule) +
+           "\", \"level\": \"error\", \"message\": {\"text\": \"" +
+           json_escape(f.detail) +
+           "\"}, \"locations\": [{\"physicalLocation\": "
+           "{\"artifactLocation\": {\"uri\": \"" +
+           json_escape(f.path) + "\"}, \"region\": {\"startLine\": " +
+           std::to_string(f.line) + "}}}]}";
+  }
+  out +=
+      "\n      ]\n"
+      "    }\n"
+      "  ]\n"
+      "}\n";
+  return out;
 }
 
 }  // namespace apn::lint

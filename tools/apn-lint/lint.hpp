@@ -5,37 +5,79 @@
 // entropy from the platform PRNG, iterating a pointer-keyed map into a
 // timing decision, or detaching a capturing coroutine lambda whose frame
 // outlives its captures. Each of those compiles, works on one machine, and
-// breaks bit-exact reproduction (or worse, memory) somewhere else. This
-// tool scans the token stream — no LLVM / libclang dependency, so it runs
-// in every CI container — and enforces the rules the simulator relies on:
+// breaks bit-exact reproduction (or worse, memory) somewhere else.
 //
-//  * wall-clock   — std::chrono::{system,steady,high_resolution}_clock,
-//                   time()/clock()/gettimeofday()/clock_gettime() and
-//                   friends. Simulation time must come from sim::Simulator;
-//                   host timing belongs only in src/common/rng-exempt
-//                   measurement code.
-//  * raw-rand     — rand()/srand()/random()/drand48()/std::random_device/
-//                   std::mt19937 etc. All randomness must flow through the
-//                   seedable, bit-stable apn::Rng (src/common/rng.hpp).
-//  * std-function — std::function in the hot paths (src/sim, src/core,
-//                   src/pcie). Use apn::UniqueFn: no copyable-callable
-//                   boxing, fits the event engine's inline storage.
-//  * ptr-key-iter — iterating a pointer-keyed map/set. Pointer order is
-//                   ASLR-dependent; iteration feeding any model decision
-//                   makes runs irreproducible. Pointer-keyed lookup is fine.
-//  * detached-coro— a *capturing* lambda returning a coroutine type. The
-//                   lambda temporary dies at the call, the coroutine frame
-//                   keeps running: captures dangle. The repo idiom is an
-//                   empty capture list with everything passed as parameters
-//                   (parameters are copied into the frame).
+// v2 architecture: instead of scanning a flat token stream, the linter
+// micro-parses each file into a lightweight IR — comment/string-stripped
+// text, a statement index, and a scope tree of namespaces, classes (with
+// member declarations) and function bodies (with local declarations, call
+// expressions and co_await sites). No LLVM / libclang dependency, so it
+// runs in every CI container. Rules see the IR, which lets them reason
+// about flow ("is this awaitable call consumed by anything?") instead of
+// just tokens.
 //
-// Suppression: a comment `// apn-lint: allow(<rule>[, <rule>...])` on the
-// offending line or the line directly above it. The baseline file
+// Rule catalogue:
+//  * wall-clock       — std::chrono::{system,steady,high_resolution}_clock,
+//                       time()/clock()/gettimeofday()/clock_gettime() and
+//                       friends. Simulation time must come from
+//                       sim::Simulator; host timing belongs only in
+//                       src/common/rng-exempt measurement code.
+//  * raw-rand         — rand()/srand()/random()/drand48()/std::random_device/
+//                       std::mt19937 etc. All randomness must flow through
+//                       the seedable, bit-stable apn::Rng (common/rng.hpp).
+//  * std-function     — std::function in the hot paths (src/sim, src/core,
+//                       src/pcie). Use apn::UniqueFn: no copyable-callable
+//                       boxing, fits the event engine's inline storage.
+//  * ptr-key-iter     — iterating a pointer-keyed map/set. Pointer order is
+//                       ASLR-dependent; iteration feeding any model decision
+//                       makes runs irreproducible. Pointer-keyed lookup is
+//                       fine.
+//  * detached-coro    — a *capturing* lambda returning a coroutine type.
+//                       The lambda temporary dies at the call, the coroutine
+//                       frame keeps running: captures dangle. The repo idiom
+//                       is an empty capture list with everything passed as
+//                       parameters (parameters are copied into the frame).
+//  * dropped-awaitable— calling an awaiter factory (sim::delay, Gate::wait,
+//                       Semaphore/CreditPool::acquire, Resource::use,
+//                       Channel::transfer, Queue::pop, or any function whose
+//                       return type is a *Awaiter/*Awaitable) as a bare
+//                       statement without co_await-ing or binding the
+//                       result. The awaiter is destroyed unsuspended and the
+//                       wait silently never happens. (Bare calls of
+//                       Coro-returning functions are NOT flagged: sim::Coro
+//                       is fire-and-forget by design.)
+//  * unit-mix         — additive arithmetic mixing an apn::Time variable
+//                       with a byte-count variable (apn::Bytes or a
+//                       *_bytes/bytes_* local) or with a bare unscaled
+//                       integer literal. Time is picoseconds; mixing it
+//                       with byte counts or raw literals is always a unit
+//                       bug. Exempt in src/common/units.hpp, which defines
+//                       the conversions.
+//  * check-coverage   — a class that participates in race detection (has at
+//                       least one StateCell member or APN_CHECK_ACCESS-
+//                       instrumented member) declares a mutable state-like
+//                       member (integral/container) that is never
+//                       instrumented anywhere in the project. Coverage is
+//                       ratcheted via a separate coverage baseline file.
+//  * hot-path-alloc   — heap allocation (non-placement new, malloc family,
+//                       make_unique/make_shared) inside a function marked
+//                       APN_HOT (common/hot.hpp). The event engine's hot
+//                       path is allocation-free by contract; cold fallbacks
+//                       carry an explicit allow comment.
+//
+// Suppression: a comment `// apn-lint: allow(<rule>[, <rule>...])` (rules
+// separated by commas and/or spaces) on the offending line, the line
+// directly above it, or — for findings inside a multi-line statement — the
+// first line of that statement or the line above it. The baseline file
 // (tools/apn-lint/baseline.txt, `path|rule|count` lines) grandfathers
 // pre-existing findings and ratchets: counts may only decrease.
+// check-coverage findings ratchet through their own baseline file so the
+// instrumentation coverage of the model classes can only grow.
 #pragma once
 
+#include <cstddef>
 #include <map>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -49,15 +91,120 @@ struct Finding {
   std::string detail;  ///< human-oriented description of the hit
 };
 
-/// Lint one translation unit given as a string. `path` scopes the
-/// directory-sensitive rules (std-function hot paths, rng exemption) and
-/// is echoed into the findings; it does not need to exist on disk.
+// ---------------------------------------------------------------------------
+// Flow-aware IR (micro-parse; see lint.cpp for the grammar subset)
+// ---------------------------------------------------------------------------
+
+/// A declaration site: `Type name ...` (class member or function local).
+struct Decl {
+  std::string type_text;  ///< declaration text left of the name, normalized
+  std::string name;
+  int line = 0;
+};
+
+/// A call expression `callee(...)` inside a function body.
+struct Call {
+  std::string callee;        ///< unqualified callee identifier
+  std::size_t off = 0;       ///< offset of the callee in the stripped text
+  std::size_t close = 0;     ///< offset of the matching ')'
+  bool member_access = false;  ///< preceded by '.' or '->'
+  int line = 0;
+};
+
+/// One parsed function body.
+struct FunctionIR {
+  std::string name;       ///< unqualified function name ("" for lambdas)
+  std::string decl_text;  ///< declaration text before the name (return type,
+                          ///< specifiers; where APN_HOT lives)
+  bool hot = false;       ///< APN_HOT marker present in decl_text
+  int line = 0;
+  std::size_t body_begin = 0;  ///< offset of '{'
+  std::size_t body_end = 0;    ///< offset of matching '}'
+  std::vector<Decl> locals;    ///< parameter + local variable declarations
+  std::vector<Call> calls;
+  std::vector<std::size_t> co_awaits;  ///< offsets of co_await tokens
+};
+
+/// One parsed class/struct body.
+struct ClassIR {
+  std::string name;
+  int line = 0;
+  std::size_t body_begin = 0;  ///< offset of '{'
+  std::size_t body_end = 0;    ///< offset of matching '}'
+  std::vector<Decl> members;   ///< data members (functions excluded)
+};
+
+/// Per-file parse result. `text` is the comment/string-stripped source
+/// (stripped bytes become spaces, so offsets and lines match the original).
+struct FileIR {
+  std::string path;
+  std::string text;
+  std::vector<FunctionIR> functions;
+  std::vector<ClassIR> classes;
+
+  int line_of(std::size_t off) const;
+  /// First line of the statement containing `off` (for suppressions that
+  /// sit above a statement spanning multiple lines).
+  int stmt_line_of(std::size_t off) const;
+  bool allowed(int line, int stmt_line, const std::string& rule) const;
+
+  // Internal indexes (populated by parse()).
+  std::vector<std::size_t> line_starts;
+  std::vector<std::size_t> stmt_starts;
+  std::set<std::pair<int, std::string>> allows;
+};
+
+/// Micro-parse one translation unit into the IR.
+FileIR parse(const std::string& path, const std::string& source);
+
+// ---------------------------------------------------------------------------
+// Two-phase project analysis
+// ---------------------------------------------------------------------------
+
+/// Cross-file facts collected in phase 1 and consulted by the flow rules in
+/// phase 2. Single-file linting with a default-constructed context is
+/// supported: the seeded awaitable set still applies, and check-coverage
+/// falls back to facts visible in the one file.
+struct ProjectContext {
+  /// Functions returning an awaiter/awaitable (seeded names plus any
+  /// function whose declared return type mentions Awaiter/Awaitable).
+  std::set<std::string> awaitable_fns;
+  /// Member names instrumented with no derivable owner (APN_CHECK_ACCESS on
+  /// a foreign struct's field like `a.arrived`, or calls in free functions):
+  /// these match a member of *any* class.
+  std::set<std::string> instrumented;
+  /// "Class::member" entries where the owning class is known — a bare-name
+  /// APN_CHECK_ACCESS inside a `Class::method` definition or an inline
+  /// method body, or a StateCell<...> member declaration. Scoping keeps one
+  /// class's instrumented `next_seq_` from whitelisting (or race-qualifying)
+  /// every other class with a member of the same name.
+  std::set<std::string> instrumented_scoped;
+  /// Classes (by name) known to participate in race detection.
+  std::set<std::string> instrumented_classes;
+};
+
+/// Phase 1: harvest declarations from one file into `ctx`.
+void scan_declarations(const FileIR& ir, ProjectContext& ctx);
+
+/// Phase 2: run all rules over one parsed file.
+std::vector<Finding> lint_ir(const FileIR& ir, const ProjectContext& ctx);
+
+/// Convenience: parse + lint one source buffer with a local context (single
+/// file scanned in both phases). `path` scopes the directory-sensitive
+/// rules and is echoed into findings; it does not need to exist on disk.
 std::vector<Finding> lint_source(const std::string& path,
                                  const std::string& source);
 
-/// Lint a file on disk. Returns false (and leaves `out` untouched) if the
-/// file cannot be read.
+/// Lint a file on disk (single-file context). Returns false (and leaves
+/// `out` untouched) if the file cannot be read.
 bool lint_file(const std::string& path, std::vector<Finding>& out);
+
+/// Read a file into `out`; false on I/O error.
+bool read_file(const std::string& path, std::string& out);
+
+// ---------------------------------------------------------------------------
+// Baseline ratchet
+// ---------------------------------------------------------------------------
 
 /// Baseline: (path, rule) -> grandfathered finding count.
 using Baseline = std::map<std::pair<std::string, std::string>, int>;
@@ -75,5 +222,13 @@ std::string format_baseline(const std::vector<Finding>& findings);
 std::vector<Finding> apply_baseline(const std::vector<Finding>& findings,
                                     const Baseline& baseline,
                                     std::vector<std::string>* stale);
+
+// ---------------------------------------------------------------------------
+// SARIF 2.1.0 output (for GitHub code scanning upload)
+// ---------------------------------------------------------------------------
+
+/// Serialize findings as a minimal SARIF 2.1.0 log (one run, one result per
+/// finding, rule metadata included).
+std::string format_sarif(const std::vector<Finding>& findings);
 
 }  // namespace apn::lint

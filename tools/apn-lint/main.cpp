@@ -1,11 +1,21 @@
 // apn-lint CLI. See lint.hpp for the rule catalogue.
 //
 // Usage:
-//   apn-lint [--baseline=FILE] [--update-baseline] <path>...
+//   apn-lint [--baseline=FILE] [--coverage-baseline=FILE]
+//            [--update-baseline] [--sarif=FILE] <path>...
 //
 // Paths may be files or directories (directories are walked recursively for
-// C/C++ sources). Exit codes: 0 clean (stale baseline entries only warn),
-// 1 findings not covered by the baseline, 2 usage or I/O error.
+// C/C++ sources). The whole tree is parsed first (phase 1: declaration
+// harvest) so the flow rules see cross-file facts, then linted (phase 2).
+//
+// check-coverage findings ratchet through --coverage-baseline; every other
+// rule ratchets through --baseline. --update-baseline rewrites whichever of
+// the two files was named on the command line from the current findings.
+// --sarif writes a SARIF 2.1.0 log of the post-baseline findings (written
+// even when clean, so CI can upload unconditionally).
+//
+// Exit codes: 0 clean (stale baseline entries only warn), 1 findings not
+// covered by a baseline, 2 usage or I/O error.
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
@@ -38,16 +48,40 @@ void collect(const fs::path& root, std::vector<std::string>& files) {
   }
 }
 
+bool load_baseline(const std::string& path, apn::lint::Baseline& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  out = apn::lint::parse_baseline(ss.str());
+  return true;
+}
+
+bool write_text(const std::string& path, const std::string& body) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << body;
+  return true;
+}
+
+bool is_coverage(const Finding& f) { return f.rule == "check-coverage"; }
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string baseline_path;
+  std::string coverage_path;
+  std::string sarif_path;
   bool update_baseline = false;
   std::vector<std::string> roots;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--baseline=", 0) == 0) {
       baseline_path = arg.substr(std::string("--baseline=").size());
+    } else if (arg.rfind("--coverage-baseline=", 0) == 0) {
+      coverage_path = arg.substr(std::string("--coverage-baseline=").size());
+    } else if (arg.rfind("--sarif=", 0) == 0) {
+      sarif_path = arg.substr(std::string("--sarif=").size());
     } else if (arg == "--update-baseline") {
       update_baseline = true;
     } else if (arg.rfind("--", 0) == 0) {
@@ -59,12 +93,14 @@ int main(int argc, char** argv) {
   }
   if (roots.empty()) {
     std::fprintf(stderr,
-                 "usage: apn-lint [--baseline=FILE] [--update-baseline] "
-                 "<path>...\n");
+                 "usage: apn-lint [--baseline=FILE] [--coverage-baseline=FILE] "
+                 "[--update-baseline] [--sarif=FILE] <path>...\n");
     return 2;
   }
-  if (update_baseline && baseline_path.empty()) {
-    std::fprintf(stderr, "apn-lint: --update-baseline needs --baseline=\n");
+  if (update_baseline && baseline_path.empty() && coverage_path.empty()) {
+    std::fprintf(stderr,
+                 "apn-lint: --update-baseline needs --baseline= and/or "
+                 "--coverage-baseline=\n");
     return 2;
   }
 
@@ -78,43 +114,83 @@ int main(int argc, char** argv) {
   }
   std::sort(files.begin(), files.end());
 
-  std::vector<Finding> findings;
+  // Phase 1: parse everything, harvest cross-file declarations.
+  std::vector<apn::lint::FileIR> irs;
+  irs.reserve(files.size());
+  apn::lint::ProjectContext ctx;
   for (const std::string& f : files) {
-    if (!apn::lint::lint_file(f, findings)) {
+    std::string src;
+    if (!apn::lint::read_file(f, src)) {
       std::fprintf(stderr, "apn-lint: cannot read %s\n", f.c_str());
       return 2;
     }
+    irs.push_back(apn::lint::parse(f, src));
+    apn::lint::scan_declarations(irs.back(), ctx);
   }
 
+  // Phase 2: rules.
+  std::vector<Finding> findings;
+  for (const apn::lint::FileIR& ir : irs) {
+    std::vector<Finding> got = apn::lint::lint_ir(ir, ctx);
+    findings.insert(findings.end(), got.begin(), got.end());
+  }
+
+  std::vector<Finding> general, coverage;
+  for (const Finding& f : findings)
+    (is_coverage(f) ? coverage : general).push_back(f);
+
   if (update_baseline) {
-    std::ofstream out(baseline_path);
-    if (!out) {
-      std::fprintf(stderr, "apn-lint: cannot write %s\n",
-                   baseline_path.c_str());
-      return 2;
+    if (!baseline_path.empty()) {
+      if (!write_text(baseline_path, apn::lint::format_baseline(general))) {
+        std::fprintf(stderr, "apn-lint: cannot write %s\n",
+                     baseline_path.c_str());
+        return 2;
+      }
+      std::fprintf(stderr, "apn-lint: baseline updated (%zu findings) -> %s\n",
+                   general.size(), baseline_path.c_str());
     }
-    out << apn::lint::format_baseline(findings);
-    std::fprintf(stderr, "apn-lint: baseline updated (%zu findings) -> %s\n",
-                 findings.size(), baseline_path.c_str());
+    if (!coverage_path.empty()) {
+      if (!write_text(coverage_path, apn::lint::format_baseline(coverage))) {
+        std::fprintf(stderr, "apn-lint: cannot write %s\n",
+                     coverage_path.c_str());
+        return 2;
+      }
+      std::fprintf(stderr,
+                   "apn-lint: coverage baseline updated (%zu findings) -> %s\n",
+                   coverage.size(), coverage_path.c_str());
+    }
     return 0;
   }
 
-  apn::lint::Baseline baseline;
-  if (!baseline_path.empty()) {
-    std::ifstream in(baseline_path);
-    if (!in) {
-      std::fprintf(stderr, "apn-lint: cannot read baseline %s\n",
-                   baseline_path.c_str());
-      return 2;
-    }
-    std::stringstream ss;
-    ss << in.rdbuf();
-    baseline = apn::lint::parse_baseline(ss.str());
+  apn::lint::Baseline baseline, cov_baseline;
+  if (!baseline_path.empty() && !load_baseline(baseline_path, baseline)) {
+    std::fprintf(stderr, "apn-lint: cannot read baseline %s\n",
+                 baseline_path.c_str());
+    return 2;
+  }
+  if (!coverage_path.empty() && !load_baseline(coverage_path, cov_baseline)) {
+    std::fprintf(stderr, "apn-lint: cannot read coverage baseline %s\n",
+                 coverage_path.c_str());
+    return 2;
   }
 
   std::vector<std::string> stale;
   std::vector<Finding> fresh =
-      apn::lint::apply_baseline(findings, baseline, &stale);
+      apn::lint::apply_baseline(general, baseline, &stale);
+  std::vector<Finding> fresh_cov =
+      apn::lint::apply_baseline(coverage, cov_baseline, &stale);
+  fresh.insert(fresh.end(), fresh_cov.begin(), fresh_cov.end());
+  std::sort(fresh.begin(), fresh.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.path, a.line, a.rule) <
+                     std::tie(b.path, b.line, b.rule);
+            });
+
+  if (!sarif_path.empty() &&
+      !write_text(sarif_path, apn::lint::format_sarif(fresh))) {
+    std::fprintf(stderr, "apn-lint: cannot write %s\n", sarif_path.c_str());
+    return 2;
+  }
 
   for (const Finding& f : fresh) {
     std::fprintf(stderr, "%s:%d: [%s] %s\n", f.path.c_str(), f.line,
