@@ -21,7 +21,7 @@ struct Result {
 
 Result read_bw(std::uint32_t granule, std::uint64_t msg) {
   sim::Simulator sim;
-  core::ApenetParams p;
+  core::ApenetParams p = hw::params();
   p.flush_at_switch = true;
   p.p2p_request_bytes = granule;
   auto c = cluster::Cluster::make_cluster_i(sim, 1, p, false);

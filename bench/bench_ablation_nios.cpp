@@ -15,7 +15,7 @@ namespace {
 double loopback_with_extra_buffers(int extra) {
   using namespace apn;
   sim::Simulator sim;
-  auto c = cluster::Cluster::make_cluster_i(sim, 1, core::ApenetParams{},
+  auto c = cluster::Cluster::make_cluster_i(sim, 1, hw::params(),
                                             false);
   // The registered buffers must outlive the coroutine; keep them in a
   // function-local vector (NOT a static — points run concurrently).
@@ -39,7 +39,7 @@ double loopback_with_extra_buffers(int extra) {
 double loopback_with_rx_scale(double scale, bool gpu) {
   using namespace apn;
   sim::Simulator sim;
-  core::ApenetParams p;
+  core::ApenetParams p = hw::params();
   p.nios.rx_buflist_base = static_cast<Time>(p.nios.rx_buflist_base * scale);
   p.nios.rx_v2p = static_cast<Time>(p.nios.rx_v2p * scale);
   p.nios.rx_dma_kick = static_cast<Time>(p.nios.rx_dma_kick * scale);

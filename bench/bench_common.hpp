@@ -13,6 +13,7 @@
 //   --jobs=N           worker threads (default: APN_JOBS, else all cores)
 //   --filter=<substr>  run only points whose name contains the substring
 //   --list             print point names (one per line) and exit
+//   --hw-profile=<n>   hardware profile (APN_HW_PROFILE; docs/HARDWARE.md)
 //   --json=<path>      NDJSON record per measured point (APN_BENCH_JSON)
 //   --check            enable the same-tick race detector (like APN_CHECK=1)
 //   --state-hash-out=F write per-event rolling state hashes to F; diffing
@@ -25,6 +26,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <type_traits>
 #include <utility>
@@ -35,15 +37,17 @@
 #include "cluster/harness.hpp"
 #include "common/table.hpp"
 #include "exp/runner.hpp"
+#include "hw/profile.hpp"
 
 namespace apn::bench {
 
 /// Machine-readable result sink: one JSON record per measured point, as
 /// newline-delimited JSON. Enabled by `--json=<path>` on the bench command
 /// line or the APN_BENCH_JSON environment variable (flag wins). Each record
-/// is {"bench": ..., "point": ..., "model": ..., "paper": ...} where
-/// `paper` is null when the paper gives no quantitative target for the
-/// point. Inert (no file, no output) when neither switch is present, so
+/// is {"bench": ..., "point": ..., "hw_profile": ..., "model": ...,
+/// "paper": ...} where `hw_profile` names the hardware profile the point
+/// ran under (docs/HARDWARE.md) and `paper` is null when the paper gives
+/// no quantitative target for the point. Inert (no file, no output) when neither switch is present, so
 /// the human-readable tables stay the default interface.
 ///
 /// Concurrency: the sink is internally synchronized, and every record is
@@ -111,8 +115,12 @@ class JsonSink {
   void record(const std::string& bench, const std::string& point,
               double model, double paper = NAN) {
     if (out_ == nullptr) return;
+    // hw::active() honors the calling thread's ScopedProfile, so points
+    // that build per-profile clusters tag their rows correctly.
     std::string line = "{\"bench\": \"" + escaped(bench) +
-                       "\", \"point\": \"" + escaped(point) + "\", ";
+                       "\", \"point\": \"" + escaped(point) +
+                       "\", \"hw_profile\": \"" + escaped(hw::active().name) +
+                       "\", ";
     append_number(line, "model", model);
     line += ", ";
     append_number(line, "paper", paper);
@@ -181,6 +189,14 @@ class Runner {
  public:
   Runner(int argc, char** argv)
       : inner_(exp::RunnerOptions::from_args(argc, argv)) {
+    if (!inner_.options().hw_profile.empty()) {
+      try {
+        hw::select(inner_.options().hw_profile);
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        std::exit(2);
+      }
+    }
     JsonSink::global().init(argc, argv);
     init_check_flags(argc, argv);
   }
@@ -224,7 +240,13 @@ class Runner {
 
   /// Execute all points (honoring --filter / --list); commits and NDJSON
   /// flush in declaration order. Returns the number of points executed.
-  std::size_t run() { return inner_.run(); }
+  /// Under --list a `# hw-profile:` header precedes the point names so
+  /// listings are self-describing across hardware generations.
+  std::size_t run() {
+    if (inner_.options().list)
+      std::printf("# hw-profile: %s\n", hw::active().name.c_str());
+    return inner_.run();
+  }
 
   int jobs() const { return inner_.jobs(); }
 

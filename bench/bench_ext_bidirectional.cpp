@@ -14,7 +14,7 @@ using namespace apn;
 /// Aggregate bidirectional bandwidth between nodes 0 and 1.
 double bidir_bw(core::MemType type, std::uint64_t size, int count) {
   sim::Simulator sim;
-  auto c = cluster::Cluster::make_cluster_i(sim, 2, core::ApenetParams{},
+  auto c = cluster::Cluster::make_cluster_i(sim, 2, hw::params(),
                                             false);
   struct Shared {
     Time t0 = 0, t_end[2] = {0, 0};
@@ -83,7 +83,7 @@ int main(int argc, char** argv) {
     runner.add("ext_bidir/uni_x2/" + size_label(size), [&results, si, size,
                                                         reps] {
       sim::Simulator s;
-      auto c = cluster::Cluster::make_cluster_i(s, 2, core::ApenetParams{},
+      auto c = cluster::Cluster::make_cluster_i(s, 2, hw::params(),
                                                 false);
       double uni = cluster::twonode_bandwidth(*c, size, reps,
                                               cluster::TwoNodeOptions{})

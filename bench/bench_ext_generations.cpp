@@ -1,0 +1,131 @@
+// Extension: cross-generation sweep over the registered hardware profiles
+// (docs/HARDWARE.md). Re-runs the paper's three headline reproductions —
+// Table I memory-read bandwidth, Fig. 6 two-node bandwidth and the
+// Fig. 8/9 small-message latency — once per profile, so the effect of each
+// hardware generation (apenet_2013 -> apenet_28nm -> gen3) shows up as a
+// column delta instead of a code change.
+//
+// Every point installs a hw::ScopedProfile before building its cluster, so
+// one process measures all generations concurrently and each NDJSON row is
+// tagged with the profile it ran under. A global --hw-profile selection
+// still applies to any *other* bench; here the profile axis is explicit.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace apn;
+  using core::MemType;
+  bench::Runner runner(argc, argv);
+  bench::print_header(
+      "EXT GENERATIONS",
+      "Table I / Fig. 6 / Fig. 8-9 reproductions across hardware profiles");
+
+  const std::vector<std::string> profiles = hw::names();
+  const std::uint64_t bw_sizes[] = {4096, 64 * 1024, 1ull << 20, 4ull << 20};
+  enum Row {
+    kLoopH, kLoopG,            // Table I-style memory-read bandwidth
+    kBwHhBase, kBwGgBase = kBwHhBase + 4,  // Fig. 6 H-H / G-G per size
+    kLatHh = kBwGgBase + 4, kLatGg,        // Fig. 8/9 32 B latency
+    kRows
+  };
+  std::vector<std::array<bench::Cell, kRows>> results(profiles.size());
+
+  for (std::size_t pi = 0; pi < profiles.size(); ++pi) {
+    const std::string prof = profiles[pi];
+    const std::string base = "gen/" + prof + "/";
+
+    // Table I: pure memory-read bandwidth (packets flushed at the internal
+    // switch), host and GPU source.
+    for (int gpu_src = 0; gpu_src < 2; ++gpu_src) {
+      runner.add(base + "read/" + (gpu_src ? "G" : "H"),
+                 [&results, pi, prof, gpu_src] {
+                   hw::ScopedProfile sp(prof);
+                   sim::Simulator sim;
+                   core::ApenetParams p = hw::params();
+                   p.flush_at_switch = true;
+                   auto c = cluster::Cluster::make_cluster_i(sim, 1, p, false);
+                   auto r = cluster::loopback_bandwidth(
+                       *c, 0, gpu_src ? MemType::kGpu : MemType::kHost,
+                       1ull << 20, 8);
+                   results[pi][gpu_src ? kLoopG : kLoopH] = r.mbps;
+                   bench::JsonSink::global().record(
+                       "ext_generations",
+                       prof + "/read/" + (gpu_src ? "G" : "H"), r.mbps);
+                 });
+    }
+
+    // Fig. 6: two-node uni-directional bandwidth, H-H and G-G.
+    for (std::size_t si = 0; si < 4; ++si) {
+      const std::uint64_t size = bw_sizes[si];
+      for (int gg = 0; gg < 2; ++gg) {
+        runner.add(base + "bw/" + (gg ? "G-G" : "H-H") + "/" +
+                       size_label(size),
+                   [&results, pi, prof, si, size, gg] {
+                     hw::ScopedProfile sp(prof);
+                     sim::Simulator sim;
+                     auto c = cluster::Cluster::make_cluster_i(
+                         sim, 2, hw::params(), false);
+                     cluster::TwoNodeOptions opt;
+                     opt.src_type = gg ? MemType::kGpu : MemType::kHost;
+                     opt.dst_type = opt.src_type;
+                     int reps = bench::reps_for(size, 12ull << 20);
+                     auto r = cluster::twonode_bandwidth(*c, size, reps, opt);
+                     results[pi][(gg ? kBwGgBase : kBwHhBase) +
+                                 static_cast<int>(si)] = r.mbps;
+                     bench::JsonSink::global().record(
+                         "ext_generations",
+                         prof + "/bw/" + (gg ? "G-G" : "H-H") + "/" +
+                             size_label(size),
+                         r.mbps);
+                   });
+      }
+    }
+
+    // Fig. 8/9: 32 B half round-trip latency, H-H and G-G.
+    for (int gg = 0; gg < 2; ++gg) {
+      runner.add(base + "lat/" + (gg ? "G-G" : "H-H"),
+                 [&results, pi, prof, gg] {
+                   hw::ScopedProfile sp(prof);
+                   sim::Simulator sim;
+                   auto c = cluster::Cluster::make_cluster_i(
+                       sim, 2, hw::params(), false);
+                   cluster::TwoNodeOptions opt;
+                   opt.src_type = gg ? MemType::kGpu : MemType::kHost;
+                   opt.dst_type = opt.src_type;
+                   Time lat = cluster::pingpong_latency(*c, 32, 50, opt);
+                   double us = units::to_us(lat);
+                   results[pi][gg ? kLatGg : kLatHh] = us;
+                   bench::JsonSink::global().record(
+                       "ext_generations",
+                       prof + "/lat/" + (gg ? "G-G" : "H-H"), us);
+                 });
+    }
+  }
+  runner.run();
+
+  std::vector<std::string> headers{"Measurement"};
+  headers.insert(headers.end(), profiles.begin(), profiles.end());
+  TextTable t(headers);
+  auto row = [&](const std::string& label, Row r, const char* fmt) {
+    std::vector<std::string> cells{label};
+    for (std::size_t pi = 0; pi < profiles.size(); ++pi)
+      cells.push_back(results[pi][r].str(fmt));
+    t.add_row(cells);
+  };
+  row("read H (MB/s)", kLoopH, "%8.1f");
+  row("read G (MB/s)", kLoopG, "%8.1f");
+  for (std::size_t si = 0; si < 4; ++si)
+    row("bw H-H " + size_label(bw_sizes[si]) + " (MB/s)",
+        static_cast<Row>(kBwHhBase + static_cast<int>(si)), "%8.1f");
+  for (std::size_t si = 0; si < 4; ++si)
+    row("bw G-G " + size_label(bw_sizes[si]) + " (MB/s)",
+        static_cast<Row>(kBwGgBase + static_cast<int>(si)), "%8.1f");
+  row("lat H-H 32B (us)", kLatHh, "%8.2f");
+  row("lat G-G 32B (us)", kLatGg, "%8.2f");
+  t.print();
+  std::printf(
+      "\nColumns are hardware profiles (docs/HARDWARE.md). apenet_2013 is "
+      "the paper's Cluster I; apenet_28nm adds hardware V2P + faster torus "
+      "links (arXiv:1311.1741); gen3 is a projected PCIe Gen3 host "
+      "(arXiv:2201.01088).\n");
+  return 0;
+}

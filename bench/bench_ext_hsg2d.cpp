@@ -19,7 +19,7 @@ using apps::hsg::CommMode;
 
 apps::hsg::HsgMetrics run_1d(int L, int np, CommMode mode) {
   sim::Simulator sim;
-  core::ApenetParams p;
+  core::ApenetParams p = hw::params();
   p.p2p_tx_version = core::P2pTxVersion::kV2;
   p.p2p_prefetch_window = 32 * 1024;
   auto c = cluster::Cluster::make_cluster_i(sim, np, p, false);
@@ -35,7 +35,7 @@ apps::hsg::HsgMetrics run_1d(int L, int np, CommMode mode) {
 apps::hsg::HsgMetrics run_2d(int L, int np, int pz, int py, CommMode mode,
                              std::uint64_t* halo_bytes) {
   sim::Simulator sim;
-  core::ApenetParams p;
+  core::ApenetParams p = hw::params();
   p.p2p_tx_version = core::P2pTxVersion::kV2;
   p.p2p_prefetch_window = 32 * 1024;
   auto c = cluster::Cluster::make_cluster_i(sim, np, p, false);

@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
     runner.add(strf("ext/hsg/np%d", np), [&hsg_m, ni, np]()
                    -> exp::ParallelRunner::Commit {
       sim::Simulator sim;
-      core::ApenetParams p;
+      core::ApenetParams p = hw::params();
       p.p2p_tx_version = core::P2pTxVersion::kV2;
       p.p2p_prefetch_window = 32 * 1024;
       auto c = cluster::Cluster::make_cluster_i(sim, np, p, false);
@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
     const int np = bfs_nps[ni];
     runner.add(strf("ext/bfs/np%d", np), [&bfs_m, ni, np, scale] {
       sim::Simulator sim;
-      auto c = cluster::Cluster::make_cluster_i(sim, np, core::ApenetParams{},
+      auto c = cluster::Cluster::make_cluster_i(sim, np, hw::params(),
                                                 false);
       apps::bfs::BfsConfig cfg;
       cfg.scale = scale;

@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
                  [&results, si, ci, combo, size] {
                    sim::Simulator sim;
                    auto c = cluster::Cluster::make_cluster_i(
-                       sim, 2, core::ApenetParams{}, false);
+                       sim, 2, hw::params(), false);
                    cluster::TwoNodeOptions o;
                    if (combo.gpu) {
                      o.src_type = MemType::kGpu;

@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
         runner.add(strf("fig11/L%d/np%d/%s", L, np, mode_names[mi]),
                    [&ttot, li, ni, mi, L, np, mode, mode_names] {
                      sim::Simulator sim;
-                     core::ApenetParams p;
+                     core::ApenetParams p = hw::params();
                      p.torus_link_gbps = 20.0;  // Fig. 11 used 20 Gbps links
                      p.p2p_tx_version = core::P2pTxVersion::kV2;
                      p.p2p_prefetch_window = 32 * 1024;

@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
         net == BfsNet::kIb
             ? cluster::Cluster::make_cluster_ii(sim, 4, true,
                                                 mpi::openmpi2012_params())
-            : cluster::Cluster::make_cluster_i(sim, 4, core::ApenetParams{},
+            : cluster::Cluster::make_cluster_i(sim, 4, hw::params(),
                                                false);
     apps::bfs::BfsConfig cfg;
     cfg.scale = scale;

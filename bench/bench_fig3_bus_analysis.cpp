@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
 
   runner.add("fig3/bus_analysis", [&m] {
     sim::Simulator sim;
-    core::ApenetParams p;
+    core::ApenetParams p = hw::params();
     p.flush_at_switch = true;  // successive transmissions; TX-side analysis
     p.p2p_tx_version = core::P2pTxVersion::kV2;
     p.p2p_prefetch_window = 32 * 1024;

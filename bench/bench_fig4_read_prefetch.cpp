@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
           "fig4/" + std::string(cfg.label) + "/" + size_label(size),
           [&results, si, ci, cfg, size] {
             sim::Simulator sim;
-            core::ApenetParams p;
+            core::ApenetParams p = hw::params();
             p.flush_at_switch = true;
             p.p2p_tx_version = cfg.ver;
             p.p2p_prefetch_window = cfg.window;

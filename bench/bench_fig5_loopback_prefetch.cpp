@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
           "fig5/" + std::string(cfg.label) + "/" + size_label(size),
           [&results, si, ci, cfg, size] {
             sim::Simulator sim;
-            core::ApenetParams p;
+            core::ApenetParams p = hw::params();
             p.p2p_tx_version = cfg.ver;
             p.p2p_prefetch_window = cfg.window;
             auto c = cluster::Cluster::make_cluster_i(sim, 1, p, false);

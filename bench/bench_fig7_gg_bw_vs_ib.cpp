@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
   auto apenet_bw = [](std::uint64_t size, int reps, bool staged) {
     sim::Simulator sim;
     auto c =
-        cluster::Cluster::make_cluster_i(sim, 2, core::ApenetParams{}, false);
+        cluster::Cluster::make_cluster_i(sim, 2, hw::params(), false);
     cluster::TwoNodeOptions o;
     o.src_type = MemType::kGpu;
     o.dst_type = MemType::kGpu;

@@ -14,7 +14,7 @@ using core::MemType;
 
 double read_bw(const gpu::GpuArch* arch, MemType type, bool flush) {
   sim::Simulator sim;
-  ApenetParams p;
+  ApenetParams p = hw::params();
   p.flush_at_switch = flush;
   std::unique_ptr<Cluster> c;
   if (arch != nullptr) {
@@ -38,7 +38,7 @@ double bar1_read_bw(const gpu::GpuArch& arch) {
   cfg.gpus = {arch};
   cfg.has_apenet = true;
   cfg.has_ib = false;
-  ApenetParams p;
+  ApenetParams p = hw::params();
   p.flush_at_switch = true;
   Cluster c(sim, core::TorusShape{1, 1, 1}, cfg, p);
   int count = arch.bar1_read_rate < Rate(1e9) ? 4 : 16;  // Fermi BAR1 is slow

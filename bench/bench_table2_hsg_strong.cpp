@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
     const int np = paper[ri].np;
     runner.add(strf("table2/np%d", np), [&results, ri, np] {
       sim::Simulator sim;
-      core::ApenetParams p;
+      core::ApenetParams p = hw::params();
       p.torus_link_gbps = 28.0;
       // The application results predate GPU_P2P_TX v3: use v2 with the
       // 32 KB prefetch window the card shipped with.

@@ -34,7 +34,7 @@ apn::apps::hsg::HsgMetrics run_mode(apn::apps::hsg::CommMode mode,
                                            cfg, core::ApenetParams{},
                                            ib::HcaParams{}, mp);
   } else {
-    core::ApenetParams p;
+    core::ApenetParams p = hw::params();
     p.p2p_tx_version = core::P2pTxVersion::kV2;
     p.p2p_prefetch_window = 32 * 1024;
     c = cluster::Cluster::make_cluster_i(sim, 2, p, false);

@@ -18,7 +18,7 @@ apn::apps::bfs::BfsMetrics run_bfs(int np, apn::apps::bfs::BfsNet net,
       net == apps::bfs::BfsNet::kIb
           ? cluster::Cluster::make_cluster_ii(sim, np, true,
                                               mpi::openmpi2012_params())
-          : cluster::Cluster::make_cluster_i(sim, np, core::ApenetParams{},
+          : cluster::Cluster::make_cluster_i(sim, np, hw::params(),
                                              false);
   apps::bfs::BfsConfig cfg;
   cfg.scale = scale;

@@ -34,7 +34,7 @@ const char* access_name(Access a) {
     case Access::kAccum: return "accum";
     case Access::kSample: return "sample";
   }
-  return "?";
+  std::abort();  // unreachable: no default, so -Wswitch guards enum growth
 }
 
 std::string Finding::message() const {

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "hw/profile.hpp"
 #include "trace/trace.hpp"
 
 namespace apn::cluster {
@@ -116,14 +117,20 @@ std::unique_ptr<Cluster> Cluster::make_cluster_i(
   else if (nodes == 24) shape = {4, 2, 3};
   else throw std::invalid_argument("Cluster I supports 1/2/4/8/16/24 nodes");
 
+  // GPU model and PCIe slot wiring come from the active hardware profile
+  // (docs/HARDWARE.md). The default, apenet_2013, reproduces the paper's
+  // Cluster I exactly: one C2050-class GPU per node ("all Fermi 2050 but
+  // one 2070"; the 6 GB C2070 only matters for the L=512 HSG run), the
+  // card in a Gen2 x8 slot, and the HCA in the constrained x4 slot
+  // (motherboard constraint, paper §V).
+  const hw::HwProfile& hp = hw::active();
   NodeConfig cfg;
-  // "all Fermi 2050 but one 2070": model every node as a C2050 and give
-  // node 0 the 6 GB C2070 (needed for the L=512 HSG run).
-  cfg.gpus = {gpu::fermi_c2050()};
+  cfg.gpus = {hp.gpu};
   cfg.has_apenet = true;
   cfg.has_ib = with_ib;
-  cfg.apenet_slot = pcie::gen2_x8();
-  cfg.ib_slot = pcie::gen2_x4();  // motherboard constraint (paper §V)
+  cfg.apenet_slot = hp.apenet_slot;
+  cfg.ib_slot = hp.ib_slot;
+  cfg.gpu_slot = hp.gpu_slot;
 
   auto c = std::make_unique<Cluster>(sim, shape, cfg, apn_params,
                                      ib::HcaParams{}, mpi::MpiParams{});

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <utility>
 
@@ -59,13 +60,14 @@ class Logger {
  private:
   static const char* name(LogLevel l) {
     switch (l) {
+      case LogLevel::kOff: return "OFF";
       case LogLevel::kError: return "ERROR";
       case LogLevel::kWarn: return "WARN";
       case LogLevel::kInfo: return "INFO";
       case LogLevel::kDebug: return "DEBUG";
       case LogLevel::kTrace: return "TRACE";
-      default: return "?";
     }
+    std::abort();  // unreachable: no default, so -Wswitch guards enum growth
   }
 
   std::string component_;

@@ -110,7 +110,7 @@ void ApenetCard::handle_write(std::uint64_t addr, pcie::Payload payload) {
 
 void ApenetCard::handle_read(std::uint64_t /*addr*/, std::uint32_t len,
                              UniqueFn<void(pcie::Payload)> reply) {
-  sim_->after(units::ns(400),
+  sim_->after(params_.mmio_read_latency,
               [len, reply = std::move(reply)]() mutable {
                 reply(pcie::Payload::timing(len));
               });
@@ -288,7 +288,8 @@ Time ApenetCard::rx_task_time(bool gpu_dest) const {
   APN_CHECK_ACCESS(buf_list_, kRead);
   Time t = c.rx_buflist_base +
            static_cast<Time>(buf_list_.size()) * c.rx_buflist_per_entry +
-           c.rx_v2p + c.rx_dma_kick;
+           (params_.rx_hw_v2p ? c.rx_hw_v2p_lookup : c.rx_v2p) +
+           c.rx_dma_kick;
   if (gpu_dest) t += c.rx_gpu_window_extra;
   return t;
 }

@@ -188,7 +188,7 @@ sim::Coro GpuP2pTx::engine() {
         a.issued += chunk;
         APN_CHECK_ACCESS(a.issued, kWrite);
         since_refill += chunk;
-        if (since_refill >= 64 * 1024) {
+        if (since_refill >= params_.p2p_refill_interval_bytes) {
           since_refill = 0;
           // V3 refill supervision loads the Nios II but does not gate the
           // hardware data path.

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
 
 #include "common/units.hpp"
 #include "pcie/link.hpp"
@@ -20,12 +21,13 @@ enum class P2pTxVersion {
 };
 
 inline const char* version_name(P2pTxVersion v) {
+  // No default: -Wswitch flags any future enumerator missing a case.
   switch (v) {
     case P2pTxVersion::kV1: return "v1";
     case P2pTxVersion::kV2: return "v2";
     case P2pTxVersion::kV3: return "v3";
   }
-  return "?";
+  std::abort();
 }
 
 /// Firmware task costs on the Nios II micro-controller. RX processing of a
@@ -36,6 +38,9 @@ struct NiosCosts {
   Time rx_buflist_base = units::us(1.05);
   Time rx_buflist_per_entry = units::ns(55);  ///< linear scan per buffer
   Time rx_v2p = units::us(1.45);              ///< 4-level table walk (const)
+  /// Hardware V2P pipeline lookup, charged *instead of* rx_v2p when
+  /// ApenetParams::rx_hw_v2p is set (the 28 nm card's TLB-like stage).
+  Time rx_hw_v2p_lookup = units::ns(120);
   Time rx_dma_kick = units::us(0.70);         ///< program the RX DMA write
   Time rx_gpu_window_extra = units::ns(350);  ///< P2P window management
   Time tx_gpu_setup = units::us(1.1);   ///< per-message V2P + protocol setup
@@ -66,6 +71,9 @@ struct ApenetParams {
   Time p2p_request_interval = units::ns(80);  ///< HW issue pace (V2/V3)
   std::uint32_t p2p_prefetch_window = 128 * 1024;
   std::uint32_t p2p_descriptor_bytes = 32;
+  /// V3 window-refill supervision granule: every this-many issued bytes
+  /// cost the Nios one tx_gpu_v3_per_refill.
+  std::uint32_t p2p_refill_interval_bytes = 64 * 1024;
 
   // --- FIFOs ---------------------------------------------------------------
   std::uint32_t tx_fifo_bytes = 32 * 1024;      ///< host TX data FIFO
@@ -73,7 +81,13 @@ struct ApenetParams {
 
   // --- receive path -----------------------------------------------------------
   Time rx_event_delivery = units::us(0.25);  ///< completion -> host library
+  /// 28 nm card: V2P translation is a hardware pipeline stage (charged as
+  /// nios.rx_hw_v2p_lookup) instead of the Nios firmware walk (nios.rx_v2p).
+  bool rx_hw_v2p = false;
   NiosCosts nios;
+
+  /// Latency of a register (MMIO) read completion from the card.
+  Time mmio_read_latency = units::ns(400);
 
   /// Test hook: drop packets at the internal switch ("flushing TX
   /// injection FIFOs", used by the paper for pure memory-read bandwidth).

@@ -41,7 +41,7 @@ inline const char* port_name(TorusPort p) {
     case TorusPort::kZminus: return "Z-";
     case TorusPort::kLocal: return "local";
   }
-  return "?";
+  std::abort();  // unreachable: no default, so -Wswitch guards enum growth
 }
 
 struct TorusShape {

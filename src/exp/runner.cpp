@@ -50,6 +50,9 @@ RunnerOptions RunnerOptions::from_args(int argc, char** argv) {
     int n = std::atoi(env);
     if (n > 0) opt.jobs = n;
   }
+  if (const char* env = std::getenv("APN_HW_PROFILE")) {
+    if (*env != '\0') opt.hw_profile = env;
+  }
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
     if (std::strncmp(a, "--jobs=", 7) == 0) {
@@ -59,6 +62,8 @@ RunnerOptions RunnerOptions::from_args(int argc, char** argv) {
       opt.filter = a + 9;
     } else if (std::strcmp(a, "--list") == 0) {
       opt.list = true;
+    } else if (std::strncmp(a, "--hw-profile=", 13) == 0) {
+      opt.hw_profile = a + 13;
     }
   }
   return opt;

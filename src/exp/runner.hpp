@@ -44,11 +44,16 @@ struct RunnerOptions {
   std::string filter;
   /// Print the declared point names instead of running anything.
   bool list = false;
+  /// Hardware profile name (hw::select key). Empty means "leave the
+  /// process default alone"; validation happens in bench::Runner, which
+  /// resolves the name against the hw registry.
+  std::string hw_profile;
 
-  /// Parse `--jobs=N`, `--filter=<substr>`, and `--list` from argv
-  /// (unknown arguments are ignored — other flags such as `--json=` belong
-  /// to their own parsers) and the APN_JOBS environment variable (the
-  /// flag wins). Invalid jobs values fall back to auto.
+  /// Parse `--jobs=N`, `--filter=<substr>`, `--list`, and
+  /// `--hw-profile=<name>` from argv (unknown arguments are ignored —
+  /// other flags such as `--json=` belong to their own parsers) and the
+  /// APN_JOBS / APN_HW_PROFILE environment variables (flags win).
+  /// Invalid jobs values fall back to auto.
   static RunnerOptions from_args(int argc, char** argv);
 };
 

@@ -46,6 +46,9 @@ struct GpuArch {
   Rate edge_scan_rate{1.36e8};
   Time kernel_launch_overhead = units::us(6.0);
 
+  /// Completion latency for a read of unmapped MMIO space.
+  Time unmapped_read_latency = units::ns(400);
+
   bool ecc_enabled = false;
   double ecc_bw_factor = 0.85;  ///< streaming-rate derating with ECC on
 
@@ -98,6 +101,24 @@ inline GpuArch kepler_k10() {
   GpuArch a = kepler_k20();
   a.name = "Kepler K10";
   a.mem_bytes = 4ull << 30;
+  return a;
+}
+
+/// K40-class board for the projected Gen3 hardware profile (hw::profile
+/// "gen3"): a Gen3 x16 part whose P2P/BAR1 engines no longer cap well
+/// below the slot rate. These are projections, not paper measurements —
+/// see docs/HARDWARE.md for the derivation.
+inline GpuArch kepler_k40() {
+  GpuArch a = kepler_k20();
+  a.name = "Kepler K40";
+  a.mem_bytes = 12ull << 30;
+  a.p2p_stream_rate = Rate(3.3e9);
+  a.bar1_read_rate = Rate(3.3e9);
+  a.bar1_read_latency = units::us(0.7);
+  a.dma_d2h_rate = Rate(10.5e9);
+  a.dma_h2d_rate = Rate(10.0e9);
+  a.spin_update_time = units::ps(430);
+  a.edge_scan_rate = Rate(3.0e8);
   return a;
 }
 

@@ -207,9 +207,10 @@ void Gpu::handle_read(std::uint64_t addr, std::uint32_t len,
     }
   }
   // Reads of unmapped space complete with zeros after a nominal delay.
-  sim_->after(units::ns(400), [len, reply = std::move(reply)]() mutable {
-    reply(pcie::Payload::timing(len));
-  });
+  sim_->after(arch_.unmapped_read_latency,
+              [len, reply = std::move(reply)]() mutable {
+                reply(pcie::Payload::timing(len));
+              });
 }
 
 }  // namespace apn::gpu

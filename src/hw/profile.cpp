@@ -1,0 +1,127 @@
+#include "hw/profile.hpp"
+
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+namespace apn::hw {
+
+namespace {
+
+/// The paper's Cluster I: defaults of every parameter struct, verbatim.
+/// tests/test_hw_profile.cpp pins this equivalence field by field, and
+/// tests/test_determinism.cpp pins the timing goldens it produces.
+HwProfile make_apenet_2013() {
+  HwProfile p;
+  p.name = "apenet_2013";
+  p.display_name = "APEnet+ 2013 (Cluster I: Fermi, PCIe Gen2, 45 nm card)";
+  p.provenance = "IPPS 2013 paper (arXiv:1307.8276) Table I / Figs. 3-10";
+  p.apenet = core::ApenetParams{};
+  p.gpu = gpu::fermi_c2050();
+  p.apenet_slot = pcie::gen2_x8();
+  p.ib_slot = pcie::gen2_x4();  // motherboard constraint (paper §V)
+  p.gpu_slot = pcie::gen2_x16();
+  return p;
+}
+
+/// The 28 nm APEnet+ re-implementation (arXiv:1311.1741): the RX
+/// bottleneck moves out of firmware — V2P translation becomes a hardware
+/// pipeline stage and BUF_LIST lookup is CAM-assisted — and the torus
+/// transceivers run faster. Host interface stays PCIe Gen2 x8; GPUs move
+/// to Kepler K20 (paper Table I already measured K20 at 1.6 GB/s P2P).
+HwProfile make_apenet_28nm() {
+  HwProfile p = make_apenet_2013();
+  p.name = "apenet_28nm";
+  p.display_name = "APEnet+ 28 nm (hardware V2P, Kepler K20, PCIe Gen2)";
+  p.provenance = "28 nm APEnet+ paper (arXiv:1311.1741); K20 from Table I";
+  p.apenet.rx_hw_v2p = true;
+  p.apenet.nios.rx_hw_v2p_lookup = units::ns(120);
+  p.apenet.nios.rx_buflist_base = units::us(0.35);
+  p.apenet.nios.rx_buflist_per_entry = units::ns(10);
+  p.apenet.torus_link_gbps = 34.0;
+  p.gpu = gpu::kepler_k20();
+  return p;
+}
+
+/// Projected PCIe Gen3-class host (arXiv:2201.01088): Gen3 x8 card slot,
+/// Gen3 x16 GPU slot, 56 Gbps torus links, K40-class GPU, and a host-read
+/// window widened to keep the faster link full. Every number here is a
+/// projection, not a measurement — see docs/HARDWARE.md.
+HwProfile make_gen3() {
+  HwProfile p = make_apenet_28nm();
+  p.name = "gen3";
+  p.display_name = "Projected Gen3 host (PCIe Gen3, 56 Gbps torus, K40)";
+  p.provenance = "projection per arXiv:2201.01088 (no measured testbed)";
+  p.apenet.pcie = pcie::gen3_x8();
+  p.apenet.torus_link_gbps = 56.0;
+  p.apenet.host_read_window = 7680;
+  p.gpu = gpu::kepler_k40();
+  p.apenet_slot = pcie::gen3_x8();
+  p.ib_slot = pcie::gen3_x8();
+  p.gpu_slot = pcie::gen3_x16();
+  return p;
+}
+
+/// Registry keyed by profile name. A function-local static keeps
+/// initialization thread-safe and the HwProfile addresses stable for the
+/// lifetime of the process (active() hands out pointers into it).
+const std::map<std::string, HwProfile>& registry() {
+  static const std::map<std::string, HwProfile> r = [] {
+    std::map<std::string, HwProfile> m;
+    for (HwProfile p : {make_apenet_2013(), make_apenet_28nm(), make_gen3()})
+      m.emplace(p.name, std::move(p));
+    return m;
+  }();
+  return r;
+}
+
+/// Process-wide selection (select()); defaults to apenet_2013.
+const HwProfile*& global_selection() {
+  static const HwProfile* p = &registry().at("apenet_2013");
+  return p;
+}
+
+/// Thread-local override stack top (ScopedProfile).
+const HwProfile*& tls_override() {
+  thread_local const HwProfile* p = nullptr;
+  return p;
+}
+
+}  // namespace
+
+std::vector<std::string> names() {
+  std::vector<std::string> out;
+  out.reserve(registry().size());
+  for (const auto& [name, _] : registry()) out.push_back(name);
+  return out;
+}
+
+const HwProfile& profile(const std::string& name) {
+  const auto& r = registry();
+  auto it = r.find(name);
+  if (it == r.end()) {
+    std::string msg = "unknown hardware profile '" + name +
+                      "'; registered profiles:";
+    for (const auto& [n, _] : r) msg += " " + n;
+    throw std::invalid_argument(msg);
+  }
+  return it->second;
+}
+
+void select(const std::string& name) { global_selection() = &profile(name); }
+
+const HwProfile& active() {
+  if (const HwProfile* p = tls_override()) return *p;
+  return *global_selection();
+}
+
+ScopedProfile::ScopedProfile(const HwProfile& p) : prev_(tls_override()) {
+  tls_override() = &p;
+}
+
+ScopedProfile::ScopedProfile(const std::string& name)
+    : ScopedProfile(profile(name)) {}
+
+ScopedProfile::~ScopedProfile() { tls_override() = prev_; }
+
+}  // namespace apn::hw

@@ -1,0 +1,91 @@
+// Versioned hardware profiles: "what machine are we simulating" as a
+// first-class, named axis.
+//
+// A HwProfile bundles every calibration constant of the model — the
+// APEnet+ card parameters (core::ApenetParams), the GPU architecture
+// (gpu::GpuArch) and the PCIe slot wiring (pcie::LinkParams) — under a
+// registry key, so a bench or test selects a complete, internally
+// consistent machine with one name instead of mutating scattered structs.
+//
+// Three profiles ship (see docs/HARDWARE.md for the full parameter tables
+// and the provenance of every number):
+//
+//  * apenet_2013  — the paper's Cluster I (Fermi C2050, PCIe Gen2, 45 nm
+//    APEnet+ card, Nios II firmware RX path). Field-for-field identical to
+//    the default-constructed parameter structs, so the Fig. 3/6/8 goldens
+//    and state hashes pinned by tests/test_determinism.cpp are
+//    byte-identical under this profile. This is the default.
+//  * apenet_28nm  — the 28 nm APEnet+ follow-up (arXiv:1311.1741):
+//    hardware V2P replaces the Nios rx_v2p table walk, BUF_LIST lookup is
+//    CAM-assisted, torus links run faster, Kepler K20 GPUs.
+//  * gen3         — a *projected* PCIe Gen3-class host (arXiv:2201.01088):
+//    Gen3 x8 card slot, Gen3 x16 GPU slot, faster torus links, a K40-class
+//    GPU. Projection, not measurement — see the provenance column in
+//    docs/HARDWARE.md.
+//
+// Selection: benches pass `--hw-profile=<name>` (or APN_HW_PROFILE); the
+// bench::Runner calls select(), and model construction reads active().
+// ScopedProfile installs a thread-local override so one process can build
+// clusters from several profiles concurrently (bench_ext_generations runs
+// one profile per runner point).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/params.hpp"
+#include "gpu/arch.hpp"
+#include "pcie/link.hpp"
+
+namespace apn::hw {
+
+struct HwProfile {
+  std::string name;          ///< registry key, e.g. "apenet_2013"
+  std::string display_name;  ///< human-oriented title for tables/headers
+  std::string provenance;    ///< one-line source note (paper / projection)
+
+  core::ApenetParams apenet;
+  gpu::GpuArch gpu;
+
+  // PCIe slot wiring of a Cluster I-style node (see cluster::NodeConfig).
+  pcie::LinkParams apenet_slot;
+  pcie::LinkParams ib_slot;  ///< the HCA slot (x4 on Cluster I motherboards)
+  pcie::LinkParams gpu_slot;
+};
+
+/// Registered profile names, sorted.
+std::vector<std::string> names();
+
+/// Look up a profile; throws std::invalid_argument naming the unknown
+/// profile and listing every registered name.
+const HwProfile& profile(const std::string& name);
+
+/// Set the process-wide active profile (throws like profile()).
+void select(const std::string& name);
+
+/// The active profile: the thread-local override installed by a live
+/// ScopedProfile if any, else the process-wide selection (default
+/// "apenet_2013").
+const HwProfile& active();
+
+/// Convenience: the active profile's card parameters (the common seed for
+/// a bench's ApenetParams mutations).
+inline core::ApenetParams params() { return active().apenet; }
+
+/// RAII thread-local profile override. Points running on exp::ParallelRunner
+/// pool threads use this to build per-profile clusters without touching the
+/// process-wide selection.
+class ScopedProfile {
+ public:
+  explicit ScopedProfile(const HwProfile& p);
+  explicit ScopedProfile(const std::string& name);
+  ~ScopedProfile();
+
+  ScopedProfile(const ScopedProfile&) = delete;
+  ScopedProfile& operator=(const ScopedProfile&) = delete;
+
+ private:
+  const HwProfile* prev_;
+};
+
+}  // namespace apn::hw

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
 #include <memory>
 #include <optional>
 #include <string>
@@ -91,7 +92,7 @@ inline const char* bus_kind_name(BusEvent::Kind k) {
     case BusEvent::Kind::kReadReq: return "MRd";
     case BusEvent::Kind::kCompletion: return "CplD";
   }
-  return "?";
+  std::abort();  // unreachable: no default, so -Wswitch guards enum growth
 }
 
 /// Passive interposer attached to one edge; records every chunk crossing it.

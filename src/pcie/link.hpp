@@ -58,5 +58,9 @@ inline LinkParams gen2_x4() { return LinkParams{2, 4, 256, 28, units::ns(200)}; 
 inline LinkParams gen2_x16() {
   return LinkParams{2, 16, 256, 28, units::ns(200)};
 }
+inline LinkParams gen3_x8() { return LinkParams{3, 8, 256, 26, units::ns(150)}; }
+inline LinkParams gen3_x16() {
+  return LinkParams{3, 16, 256, 26, units::ns(150)};
+}
 
 }  // namespace apn::pcie

@@ -226,8 +226,10 @@ TEST(LintUnitMix, TimePlusByteVariableFlagged) {
   EXPECT_EQ(f[0].line, 3);
 }
 
+// src/sim path: the units helpers with literal args here are deliberate
+// (testing unit-mix, not calibration-literal, which is core/pcie/gpu-scoped).
 TEST(LintUnitMix, ScaledLiteralsAndHelpersAreClean) {
-  EXPECT_TRUE(lint_source("src/core/x.cpp",
+  EXPECT_TRUE(lint_source("src/sim/x.cpp",
                           "Time f(Time start) {\n"
                           "  Time t = start + units::us(8);\n"
                           "  t += 6 * units::ns(250);\n"
@@ -442,13 +444,17 @@ INSTANTIATE_TEST_SUITE_P(
         FixtureCase{"std-function", "std_function", "src/sim/fixture.hpp"},
         FixtureCase{"ptr-key-iter", "ptr_key_iter", "src/core/fixture.cpp"},
         FixtureCase{"detached-coro", "detached_coro", "src/core/fixture.cpp"},
+        // src/sim paths below keep calibration-literal (core/pcie/gpu-
+        // scoped) from cross-firing on these fixtures' units::us(1) calls.
         FixtureCase{"dropped-awaitable", "dropped_awaitable",
-                    "src/core/fixture.cpp"},
-        FixtureCase{"unit-mix", "unit_mix", "src/core/fixture.cpp"},
+                    "src/sim/fixture.cpp"},
+        FixtureCase{"unit-mix", "unit_mix", "src/sim/fixture.cpp"},
         FixtureCase{"check-coverage", "check_coverage",
                     "src/core/fixture.hpp"},
         FixtureCase{"hot-path-alloc", "hot_path_alloc",
-                    "src/sim/fixture.cpp"}),
+                    "src/sim/fixture.cpp"},
+        FixtureCase{"calibration-literal", "calibration_literal",
+                    "src/core/fixture.cpp"}),
     [](const ::testing::TestParamInfo<FixtureCase>& info) {
       std::string name;
       bool up = true;  // CamelCase the stem for readable test names

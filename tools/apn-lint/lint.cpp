@@ -1250,6 +1250,79 @@ void rule_hot_path_alloc(const FileIR& ir, const std::vector<Ident>& ids,
   }
 }
 
+// True when [b, e) of `t`, ignoring whitespace, is a single numeric literal:
+// digits plus the usual '.'/'e'/'x'/'p' spellings, digit separators, a sign
+// inside an exponent and integer/float suffixes. Identifiers never qualify
+// (they cannot start with a digit), so `units::ns(cfg.delay)` passes while
+// `units::ns(400)` does not.
+bool pure_numeric_literal(const std::string& t, std::size_t b, std::size_t e) {
+  while (b < e && std::isspace(static_cast<unsigned char>(t[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(t[e - 1]))) --e;
+  if (b >= e) return false;
+  if (!std::isdigit(static_cast<unsigned char>(t[b]))) return false;
+  for (std::size_t i = b; i < e; ++i) {
+    const char c = t[i];
+    if (std::isalnum(static_cast<unsigned char>(c))) continue;
+    if (c == '.' || c == '\'') continue;
+    if ((c == '+' || c == '-') && i > b &&
+        (t[i - 1] == 'e' || t[i - 1] == 'E' || t[i - 1] == 'p' ||
+         t[i - 1] == 'P'))
+      continue;
+    return false;
+  }
+  return true;
+}
+
+// Calibration constants belong in the hardware-profile structs
+// (core/params.hpp, gpu/arch.hpp, pcie/link.hpp) where src/hw/profile.cpp
+// versions them per generation. A bare `units::ns(400)` or `Rate(1.5e9)`
+// inside model code is an unnamed calibration literal: invisible to
+// --hw-profile, untracked by docs/HARDWARE.md, and silently shared by every
+// profile. Flags unit-helper and Rate constructor calls whose argument is a
+// raw numeric literal, inside function bodies only — namespace-scope named
+// constants and the profile-definition headers stay legal.
+void rule_calibration_literal(const FileIR& ir, const std::vector<Ident>& ids,
+                              std::vector<Finding>& out) {
+  static const std::set<std::string> kUnitHelpers = {
+      "ps", "ns", "us", "ms", "sec", "KBps", "MBps", "GBps", "Gbps"};
+  const std::string& t = ir.text;
+  for (const FunctionIR& f : ir.functions) {
+    for (const Ident& id : ids) {
+      if (id.off <= f.body_begin) continue;
+      if (id.off >= f.body_end) break;
+      std::string what;
+      if (id.text == "Rate") {
+        what = "Rate";
+      } else if (kUnitHelpers.count(id.text) != 0) {
+        // Only the units:: helpers — a bare `ns(...)` is some other function.
+        std::size_t p = prev_nonspace(t, id.off);
+        if (p == npos || p == 0 || t[p] != ':' || t[p - 1] != ':') continue;
+        std::size_t q = prev_nonspace(t, p - 1);
+        if (q == npos || token_ending_at(t, q) != "units") continue;
+        what = "units::" + id.text;
+      } else {
+        continue;
+      }
+      std::size_t open = next_nonspace(t, id.off + id.text.size());
+      if (open == npos || t[open] != '(') continue;
+      std::size_t close = open + 1;
+      int depth = 1;
+      while (close < t.size() && depth > 0) {
+        if (t[close] == '(') ++depth;
+        else if (t[close] == ')') --depth;
+        ++close;
+      }
+      if (depth != 0) continue;
+      if (!pure_numeric_literal(t, open + 1, close - 1)) continue;
+      add(out, ir, id.off, "calibration-literal",
+          "'" + what + "(" + trim(t.substr(open + 1, close - 1 - open - 1)) +
+              ")' is an unnamed calibration constant in model code; name it "
+              "in the hardware-profile structs (core/params.hpp, "
+              "gpu/arch.hpp, pcie/link.hpp) so profiles can version it");
+    }
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -1368,6 +1441,17 @@ std::vector<Finding> lint_ir(const FileIR& ir, const ProjectContext& ctx) {
   if (!path_contains(ir.path, "common/units")) rule_unit_mix(ir, ids, out);
   rule_check_coverage(ir, ctx, out);
   rule_hot_path_alloc(ir, ids, out);
+  // Model code only; the profile-definition headers (where the named
+  // parameter structs and their presets live) are the one legal home for
+  // these literals.
+  if ((path_contains(ir.path, "src/core") ||
+       path_contains(ir.path, "src/pcie") ||
+       path_contains(ir.path, "src/gpu")) &&
+      !ends_with(ir.path, "core/params.hpp") &&
+      !ends_with(ir.path, "gpu/arch.hpp") &&
+      !ends_with(ir.path, "pcie/link.hpp")) {
+    rule_calibration_literal(ir, ids, out);
+  }
 
   std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
     return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
@@ -1511,6 +1595,9 @@ constexpr RuleMeta kRules[] = {
     {"check-coverage", "Mutable state member of a race-checked class is not "
                        "instrumented"},
     {"hot-path-alloc", "Heap allocation inside an APN_HOT function"},
+    {"calibration-literal", "Unnamed numeric calibration literal in model "
+                            "code; hoist it into the hardware-profile "
+                            "parameter structs"},
 };
 
 }  // namespace

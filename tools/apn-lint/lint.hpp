@@ -64,6 +64,16 @@
 //                       APN_HOT (common/hot.hpp). The event engine's hot
 //                       path is allocation-free by contract; cold fallbacks
 //                       carry an explicit allow comment.
+//  * calibration-literal — a units helper (units::ns(400), units::us(1.5),
+//                       Gbps, MBps, ...) or Rate constructor called with a
+//                       raw numeric literal inside a function body in model
+//                       code (src/core, src/pcie, src/gpu). Calibration
+//                       constants must be named fields of the hardware-
+//                       profile structs (core/params.hpp, gpu/arch.hpp,
+//                       pcie/link.hpp) so src/hw/profile.cpp can version
+//                       them per hardware generation and docs/HARDWARE.md
+//                       can document them. Those three headers are exempt —
+//                       they are where the named defaults live.
 //
 // Suppression: a comment `// apn-lint: allow(<rule>[, <rule>...])` (rules
 // separated by commas and/or spaces) on the offending line, the line
