@@ -201,13 +201,17 @@ class Runner {
     init_check_flags(argc, argv);
   }
 
-  /// Parse --check / --state-hash-out=<path> (shared with bus_analyzer).
-  /// Either flag arms the race detector for every Simulator built after
-  /// this call (cluster::Cluster installs a check::Session from it).
+  /// Parse --check / --owner-check / --state-hash-out=<path> (shared with
+  /// bus_analyzer). Any flag arms the race detector for every Simulator
+  /// built after this call (cluster::Cluster installs a check::Session
+  /// from it); --owner-check additionally arms the partition-ownership
+  /// oracle (see docs/CORRECTNESS.md "The ownership model").
   static void init_check_flags(int argc, char** argv) {
     for (int i = 1; i < argc; ++i) {
       if (std::strcmp(argv[i], "--check") == 0) {
         check::Session::force_enable(true);
+      } else if (std::strcmp(argv[i], "--owner-check") == 0) {
+        check::Session::force_owner_check(true);
       } else if (std::strncmp(argv[i], "--state-hash-out=", 17) == 0) {
         const char* path = argv[i] + 17;
         if (*path == '\0') {

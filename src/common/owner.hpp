@@ -1,0 +1,131 @@
+// Partition-ownership annotations for the model layers.
+//
+// ROADMAP item 1 (sharded parallel DES over the torus) is only safe when
+// every piece of mutable model state has exactly one owning partition and
+// every cross-partition interaction goes through a sim::Channel at the
+// lookahead horizon. This header *declares* that ownership in the model
+// source; apn-lint's `partition-ownership` rule proves it statically and
+// `check::Context --owner-check` cross-validates it at runtime (see
+// docs/CORRECTNESS.md "The ownership model").
+//
+// Domain catalogue:
+//  * torus_node     — state private to one cluster node's card-side model
+//                     (ApenetCard, GpuP2pTx, RdmaDevice, V2P tables). One
+//                     shard per torus node in the sharding plan.
+//  * pcie_island    — state private to one node's PCIe tree (Fabric,
+//                     HostMemory, Gpu). Same shard as the node's
+//                     torus_node state (instances coincide), kept as a
+//                     separate domain so intra-node layering violations
+//                     stay visible.
+//  * global_readonly — wired once during cluster assembly, frozen before
+//                     the simulation runs (topology containers). Readable
+//                     from any partition; never written at sim time.
+//
+// Usage: `APN_OWNER(domain)` as the first line of a class body claims the
+// whole class for `domain`; `APN_SHARED("reason")` prefixes an individual
+// member declaration to exempt it from the single-owner rule (the reason
+// string is mandatory — apn-lint flags empty ones).
+//
+// Instances: owner tags carry an instance id (the cluster-node index) so
+// the runtime oracle can tell node 0's card state from node 1's.
+// `ScopedOwner` installs a thread-local construction scope; `StateCell`
+// and `APN_OWNER`'s tag member capture it, so cells built while
+// cluster::Node `i` assembles itself are stamped with instance `i`.
+#pragma once
+
+#include <cstdint>
+
+namespace apn::owner {
+
+enum class Domain : std::uint8_t {
+  unowned = 0,      ///< no declared owner (tests, free-standing state)
+  torus_node,       ///< one cluster node's card-side model state
+  pcie_island,      ///< one cluster node's PCIe-tree state
+  global_readonly,  ///< frozen-after-assembly topology state
+};
+
+inline const char* domain_name(Domain d) {
+  switch (d) {
+    case Domain::unowned: return "unowned";
+    case Domain::torus_node: return "torus_node";
+    case Domain::pcie_island: return "pcie_island";
+    case Domain::global_readonly: return "global_readonly";
+  }
+  return "?";
+}
+
+/// An owner stamp: which domain, and which partition instance (the cluster
+/// node index; -1 for non-partitioned domains).
+struct Tag {
+  Domain domain = Domain::unowned;
+  std::int32_t instance = -1;
+
+  /// True when this tag names one concrete partition (the only tags the
+  /// runtime oracle compares).
+  bool partitioned() const {
+    return (domain == Domain::torus_node || domain == Domain::pcie_island) &&
+           instance >= 0;
+  }
+};
+
+namespace detail {
+inline Tag& current_ref() {
+  thread_local Tag t{};
+  return t;
+}
+}  // namespace detail
+
+/// The thread's active construction-scope owner (unowned by default).
+inline const Tag& current() { return detail::current_ref(); }
+
+/// Tag for a class-level APN_OWNER(domain) member: the declared domain,
+/// with the instance inherited from the enclosing construction scope.
+inline Tag bind(Domain d) {
+  Tag t{d, -1};
+  if (d == Domain::torus_node || d == Domain::pcie_island)
+    t.instance = current().instance;
+  return t;
+}
+
+/// RAII construction scope: state cells built inside it capture its tag.
+/// cluster::Node installs one per node while assembling the node's model.
+class ScopedOwner {
+ public:
+  ScopedOwner(Domain d, std::int32_t instance = -1)
+      : prev_(detail::current_ref()) {
+    detail::current_ref() = Tag{d, instance};
+  }
+  explicit ScopedOwner(Tag t) : prev_(detail::current_ref()) {
+    detail::current_ref() = t;
+  }
+  ~ScopedOwner() { detail::current_ref() = prev_; }
+  ScopedOwner(const ScopedOwner&) = delete;
+  ScopedOwner& operator=(const ScopedOwner&) = delete;
+
+ private:
+  Tag prev_;
+};
+
+}  // namespace apn::owner
+
+/// Fallback for APN_CHECK_ACCESS sites outside an APN_OWNER class: the
+/// macro calls `apn_owner_tag()` unqualified, so inside an annotated class
+/// the member version (injected by APN_OWNER) wins and stamps the access
+/// with the class's tag; everywhere else this global no-op tag applies.
+inline ::apn::owner::Tag apn_owner_tag() { return {}; }
+
+/// Claim every member of the enclosing class for `domain`. Put it on the
+/// first line of the class body. Injects the declared domain (for the
+/// static rule), a tag member capturing the construction-scope instance,
+/// and the `apn_owner_tag()` hook the access macro resolves to.
+#define APN_OWNER(domain)                                                    \
+  static constexpr ::apn::owner::Domain apn_owner_domain =                   \
+      ::apn::owner::Domain::domain;                                          \
+  ::apn::owner::Tag apn_owner_tag_v_ =                                       \
+      ::apn::owner::bind(::apn::owner::Domain::domain);                      \
+  ::apn::owner::Tag apn_owner_tag() const { return apn_owner_tag_v_; }
+
+/// Exempt one member from the single-owner rule. The reason string is
+/// mandatory and must be non-empty (apn-lint enforces it); the macro
+/// itself compiles away.
+#define APN_SHARED(reason)

@@ -26,6 +26,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/owner.hpp"
 #include "core/packet.hpp"
 #include "core/params.hpp"
 #include "gpu/gpu.hpp"
@@ -48,6 +49,8 @@ struct GpuTxJob {
 };
 
 class GpuP2pTx {
+  APN_OWNER(torus_node)
+
  public:
   GpuP2pTx(ApenetCard& card, const ApenetParams& params);
 
@@ -76,6 +79,8 @@ class GpuP2pTx {
 
   // Current job state (engine processes one job at a time).
   struct Active {
+    APN_OWNER(torus_node)
+
     explicit Active(sim::Simulator& sim, GpuTxJob j)
         : job(std::move(j)),
           arrived_pool(sim, 0),

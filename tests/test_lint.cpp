@@ -4,6 +4,8 @@
 // behavior.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -249,17 +251,19 @@ TEST(LintUnitMix, TimePlusTimeIsClean) {
 TEST(LintCheckCoverage, UninstrumentedStateMemberFlagged) {
   auto f = lint_source("src/core/x.hpp",
                        "class Dev {\n"
+                       "  APN_OWNER(torus_node)\n"
                        "  check::StateCell<int> credits_;\n"
                        "  std::uint64_t tail_ = 0;\n"
                        "};\n");
   ASSERT_EQ(f.size(), 1u);
   EXPECT_EQ(f[0].rule, "check-coverage");
-  EXPECT_EQ(f[0].line, 3);
+  EXPECT_EQ(f[0].line, 4);
 }
 
 TEST(LintCheckCoverage, InstrumentedMemberIsCovered) {
   EXPECT_TRUE(lint_source("src/core/x.hpp",
                           "class Dev {\n"
+                          "  APN_OWNER(torus_node)\n"
                           "  void bump() { APN_CHECK_ACCESS(tail_, w); "
                           "tail_ += 1; }\n"
                           "  check::StateCell<int> credits_;\n"
@@ -290,9 +294,154 @@ TEST(LintCheckCoverage, UninstrumentedClassesAreOutOfScope) {
 TEST(LintCheckCoverage, AllowCommentSuppresses) {
   EXPECT_TRUE(lint_source("src/core/x.hpp",
                           "class Dev {\n"
+                          "  APN_OWNER(torus_node)\n"
                           "  check::StateCell<int> c_;\n"
                           "  // set once.  apn-lint: allow(check-coverage)\n"
                           "  int tail_ = 0;\n"
+                          "};\n")
+                  .empty());
+}
+
+// ---- partition-ownership ---------------------------------------------------
+
+TEST(LintOwnership, UnannotatedRaceCheckedClassFlagged) {
+  auto f = lint_source("src/core/x.hpp",
+                       "class Dev {\n"
+                       "  void bump() { APN_CHECK_ACCESS(tail_, w); }\n"
+                       "  std::uint64_t tail_ = 0;\n"
+                       "};\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "partition-ownership");
+  EXPECT_EQ(f[0].line, 3);
+  EXPECT_NE(f[0].detail.find("declares no owner partition"),
+            std::string::npos);
+}
+
+TEST(LintOwnership, AnnotationDoesNotHideTheMemberDeclaration) {
+  // The macro span is blanked before member extraction: the declaration
+  // following a no-semicolon APN_OWNER line must still be seen (else
+  // check-coverage would silently lose it).
+  auto f = lint_source("src/core/x.hpp",
+                       "class Dev {\n"
+                       "  APN_OWNER(torus_node)\n"
+                       "  std::uint64_t tail_ = 0;\n"
+                       "  check::StateCell<int> c_;\n"
+                       "};\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "check-coverage");
+  EXPECT_EQ(f[0].line, 3);
+}
+
+TEST(LintOwnership, CrossDomainReachFlagged) {
+  auto f = lint_source(
+      "src/core/x.hpp",
+      "class Gpu {\n"
+      "  APN_OWNER(pcie_island)\n"
+      " public:\n"
+      "  std::uint64_t window_ = 0;\n"
+      "};\n"
+      "class Card {\n"
+      "  APN_OWNER(torus_node)\n"
+      "  void poke(Gpu* g) { g->window_ = 1; }\n"
+      "};\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "partition-ownership");
+  EXPECT_EQ(f[0].line, 8);
+  EXPECT_NE(f[0].detail.find("torus_node"), std::string::npos);
+  EXPECT_NE(f[0].detail.find("pcie_island"), std::string::npos);
+}
+
+TEST(LintOwnership, MemberVariableReachResolvedCrossFile) {
+  // `gpu_`'s type comes from the class member catalogue, and out-of-line
+  // `Card::method` definitions resolve their enclosing class by qualifier.
+  auto f = lint_source(
+      "src/core/x.hpp",
+      "class Gpu {\n"
+      "  APN_OWNER(pcie_island)\n"
+      " public:\n"
+      "  std::uint64_t window_ = 0;\n"
+      "};\n"
+      "class Card {\n"
+      "  APN_OWNER(torus_node)\n"
+      "  void poke();\n"
+      "  Gpu* gpu_ = nullptr;\n"
+      "};\n"
+      "void Card::poke() { gpu_->window_ = 1; }\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "partition-ownership");
+  EXPECT_EQ(f[0].line, 11);
+}
+
+TEST(LintOwnership, ChannelStatementIsTheSanctionedCrossing) {
+  EXPECT_TRUE(lint_source("src/core/x.hpp",
+                          "class Gpu {\n"
+                          "  APN_OWNER(pcie_island)\n"
+                          " public:\n"
+                          "  std::uint64_t window_ = 0;\n"
+                          "};\n"
+                          "class Card {\n"
+                          "  APN_OWNER(torus_node)\n"
+                          "  void poke(Gpu* g) { ch_.send(g->window_); }\n"
+                          "  Channel ch_;\n"
+                          "};\n")
+                  .empty());
+}
+
+TEST(LintOwnership, MethodCallsAndSameDomainAreClean) {
+  EXPECT_TRUE(lint_source("src/core/x.hpp",
+                          "class Gpu {\n"
+                          "  APN_OWNER(pcie_island)\n"
+                          " public:\n"
+                          "  std::uint64_t window() const;\n"
+                          "};\n"
+                          "class Card {\n"
+                          "  APN_OWNER(torus_node)\n"
+                          "  void a(Gpu* g) { auto w = g->window(); }\n"
+                          "  void b(Card* c) { c->seq_ += 1; }\n"
+                          "  std::uint64_t seq_ = 0;\n"
+                          "};\n")
+                  .empty());
+}
+
+TEST(LintOwnership, SharedMemberEscapesWithReason) {
+  EXPECT_TRUE(lint_source("src/core/x.hpp",
+                          "class Gpu {\n"
+                          "  APN_OWNER(pcie_island)\n"
+                          " public:\n"
+                          "  APN_SHARED(\"mirrored on handoff\")\n"
+                          "  std::uint64_t window_ = 0;\n"
+                          "};\n"
+                          "class Card {\n"
+                          "  APN_OWNER(torus_node)\n"
+                          "  void poke(Gpu* g) { g->window_ = 1; }\n"
+                          "};\n")
+                  .empty());
+}
+
+TEST(LintOwnership, EmptySharedReasonFlagged) {
+  auto f = lint_source("src/core/x.hpp",
+                       "class Gpu {\n"
+                       "  APN_OWNER(pcie_island)\n"
+                       "  APN_SHARED(\"\")\n"
+                       "  std::uint64_t window_ = 0;\n"
+                       "};\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "partition-ownership");
+  EXPECT_EQ(f[0].line, 3);
+  EXPECT_NE(f[0].detail.find("window_"), std::string::npos);
+  EXPECT_NE(f[0].detail.find("empty reason"), std::string::npos);
+}
+
+TEST(LintOwnership, GlobalReadonlyTargetIsReadable) {
+  EXPECT_TRUE(lint_source("src/core/x.hpp",
+                          "class Topo {\n"
+                          "  APN_OWNER(global_readonly)\n"
+                          " public:\n"
+                          "  int fanout_ = 0;\n"
+                          "};\n"
+                          "class Card {\n"
+                          "  APN_OWNER(torus_node)\n"
+                          "  int f(Topo* t) { return t->fanout_; }\n"
                           "};\n")
                   .empty());
 }
@@ -454,7 +603,9 @@ INSTANTIATE_TEST_SUITE_P(
         FixtureCase{"hot-path-alloc", "hot_path_alloc",
                     "src/sim/fixture.cpp"},
         FixtureCase{"calibration-literal", "calibration_literal",
-                    "src/core/fixture.cpp"}),
+                    "src/core/fixture.cpp"},
+        FixtureCase{"partition-ownership", "partition_ownership",
+                    "src/core/fixture.hpp"}),
     [](const ::testing::TestParamInfo<FixtureCase>& info) {
       std::string name;
       bool up = true;  // CamelCase the stem for readable test names
@@ -469,11 +620,45 @@ INSTANTIATE_TEST_SUITE_P(
       return name;
     });
 
+// ---- parallel project driver -----------------------------------------------
+
+TEST(LintRunProject, JobCountDoesNotChangeOutput) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (const auto& e : fs::directory_iterator(APN_LINT_FIXTURE_DIR)) {
+    if (e.path().extension() == ".fixture")
+      files.push_back(e.path().generic_string());
+  }
+  ASSERT_FALSE(files.empty());
+  std::sort(files.begin(), files.end());
+  std::vector<Finding> one, four;
+  std::string bad;
+  ASSERT_TRUE(apn::lint::run_project(files, 1, one, &bad)) << bad;
+  ASSERT_TRUE(apn::lint::run_project(files, 4, four, &bad)) << bad;
+  ASSERT_EQ(one.size(), four.size());
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    EXPECT_EQ(one[i].path, four[i].path);
+    EXPECT_EQ(one[i].line, four[i].line);
+    EXPECT_EQ(one[i].col, four[i].col);
+    EXPECT_EQ(one[i].rule, four[i].rule);
+    EXPECT_EQ(one[i].detail, four[i].detail);
+  }
+  // Byte-identical all the way to the serialized report.
+  EXPECT_EQ(apn::lint::format_sarif(one), apn::lint::format_sarif(four));
+}
+
+TEST(LintRunProject, MissingFileReportsPath) {
+  std::vector<Finding> out;
+  std::string bad;
+  EXPECT_FALSE(apn::lint::run_project({"/nonexistent/x.cpp"}, 2, out, &bad));
+  EXPECT_EQ(bad, "/nonexistent/x.cpp");
+}
+
 // ---- SARIF output ----------------------------------------------------------
 
 TEST(LintSarif, WellFormedWithFindings) {
   std::vector<Finding> fs = {
-      {"src/a.cpp", 3, "wall-clock", "say \"hi\""},
+      {"src/a.cpp", 3, 0, 0, "wall-clock", "say \"hi\""},
   };
   const std::string s = apn::lint::format_sarif(fs);
   EXPECT_NE(s.find("\"version\": \"2.1.0\""), std::string::npos);
@@ -488,6 +673,36 @@ TEST(LintSarif, EmptyRunStillHasToolMetadata) {
   EXPECT_NE(s.find("\"results\": ["), std::string::npos);
   EXPECT_EQ(s.find("ruleId"), std::string::npos);          // no results
   EXPECT_NE(s.find("check-coverage"), std::string::npos);  // rule catalogue
+  EXPECT_NE(s.find("partition-ownership"), std::string::npos);
+}
+
+TEST(LintSarif, ColumnsAreOneBasedUtf16) {
+  // Two-byte 'π' in a comment before the flagged token: a byte count would
+  // say column 18, but SARIF 2.1.0 wants UTF-16 code units, where the
+  // whole character is one unit.
+  auto f = lint_source("src/core/x.cpp", "/* \xcf\x80 */ int a = rand();\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "raw-rand");
+  EXPECT_EQ(f[0].col, 17);
+  EXPECT_EQ(f[0].end_col, 21);  // one past "rand"
+  const std::string s = apn::lint::format_sarif(f);
+  EXPECT_NE(s.find("\"startColumn\": 17"), std::string::npos);
+  EXPECT_NE(s.find("\"endColumn\": 21"), std::string::npos);
+}
+
+TEST(LintSarif, AstralPlaneCharactersCountTwoUnits) {
+  // U+1F600 (4-byte UTF-8) is a surrogate pair: two UTF-16 code units.
+  auto f = lint_source("src/core/x.cpp",
+                       "/* \xf0\x9f\x98\x80 */ int a = rand();\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].col, 18);  // 16 ASCII chars + 2 units for the emoji
+}
+
+TEST(LintSarif, LineOnlyFindingsOmitColumns) {
+  std::vector<Finding> fs = {{"src/a.hpp", 4, 0, 0, "check-coverage", "x"}};
+  const std::string s = apn::lint::format_sarif(fs);
+  EXPECT_NE(s.find("\"startLine\": 4"), std::string::npos);
+  EXPECT_EQ(s.find("startColumn"), std::string::npos);
 }
 
 // ---- baseline --------------------------------------------------------------
@@ -501,9 +716,9 @@ TEST(LintBaseline, ParseIgnoresCommentsAndBlanks) {
 
 TEST(LintBaseline, CoversUpToCountAndFlagsExcess) {
   std::vector<Finding> fs = {
-      {"src/a.cpp", 1, "wall-clock", ""},
-      {"src/a.cpp", 5, "wall-clock", ""},
-      {"src/a.cpp", 9, "wall-clock", ""},
+      {"src/a.cpp", 1, 0, 0, "wall-clock", ""},
+      {"src/a.cpp", 5, 0, 0, "wall-clock", ""},
+      {"src/a.cpp", 9, 0, 0, "wall-clock", ""},
   };
   Baseline b = apn::lint::parse_baseline("src/a.cpp|wall-clock|2\n");
   std::vector<std::string> stale;
@@ -525,9 +740,9 @@ TEST(LintBaseline, RatchetReportsStaleEntries) {
 
 TEST(LintBaseline, FormatRoundTrips) {
   std::vector<Finding> fs = {
-      {"src/a.cpp", 1, "wall-clock", ""},
-      {"src/a.cpp", 5, "wall-clock", ""},
-      {"src/b.cpp", 2, "raw-rand", ""},
+      {"src/a.cpp", 1, 0, 0, "wall-clock", ""},
+      {"src/a.cpp", 5, 0, 0, "wall-clock", ""},
+      {"src/b.cpp", 2, 0, 0, "raw-rand", ""},
   };
   Baseline b = apn::lint::parse_baseline(apn::lint::format_baseline(fs));
   EXPECT_EQ((b[{"src/a.cpp", "wall-clock"}]), 2);

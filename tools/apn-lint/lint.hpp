@@ -74,6 +74,21 @@
 //                       them per hardware generation and docs/HARDWARE.md
 //                       can document them. Those three headers are exempt —
 //                       they are where the named defaults live.
+//  * partition-ownership — the sharding-readiness analysis backing ROADMAP
+//                       item 1 (see common/owner.hpp and
+//                       docs/CORRECTNESS.md "The ownership model"). Phase 1
+//                       builds a cross-file ownership graph from the
+//                       APN_OWNER(domain) class annotations; phase 2 flags
+//                       (a) state-like members of race-checked classes in
+//                       src/ headers whose class carries no APN_OWNER
+//                       (ratcheted via the ownership baseline file, like
+//                       check-coverage), (b) a method of an APN_OWNER class
+//                       directly reaching a data member of a class owned by
+//                       a *different* domain — cross-partition interactions
+//                       must go through a sim::Channel (a send/recv/transfer
+//                       in the same statement is the sanctioned escape) or
+//                       the member must be APN_SHARED, and (c) an
+//                       APN_SHARED whose justification string is empty.
 //
 // Suppression: a comment `// apn-lint: allow(<rule>[, <rule>...])` (rules
 // separated by commas and/or spaces) on the offending line, the line
@@ -82,7 +97,9 @@
 // (tools/apn-lint/baseline.txt, `path|rule|count` lines) grandfathers
 // pre-existing findings and ratchets: counts may only decrease.
 // check-coverage findings ratchet through their own baseline file so the
-// instrumentation coverage of the model classes can only grow.
+// instrumentation coverage of the model classes can only grow;
+// partition-ownership findings likewise ratchet through
+// tools/apn-lint/ownership-baseline.txt so annotation coverage only grows.
 #pragma once
 
 #include <cstddef>
@@ -97,6 +114,8 @@ namespace apn::lint {
 struct Finding {
   std::string path;
   int line = 0;        ///< 1-based
+  int col = 0;         ///< 1-based UTF-16 column (SARIF); 0 = unknown
+  int end_col = 0;     ///< one past the flagged token; 0 = unknown
   std::string rule;    ///< rule slug, e.g. "wall-clock"
   std::string detail;  ///< human-oriented description of the hit
 };
@@ -144,13 +163,36 @@ struct ClassIR {
   std::vector<Decl> members;   ///< data members (functions excluded)
 };
 
+/// An APN_OWNER(domain) annotation site. The macro text is blanked out of
+/// `FileIR::text` before scope analysis (so the member extractor never sees
+/// it); the harvested facts live here instead.
+struct OwnerDecl {
+  std::size_t off = 0;  ///< offset of the APN_OWNER token
+  std::string domain;   ///< "torus_node" / "pcie_island" / "global_readonly"
+  int line = 0;
+};
+
+/// An APN_SHARED(reason) escape-hatch site (prefixes a member declaration).
+struct SharedDecl {
+  std::size_t off = 0;      ///< offset of the APN_SHARED token
+  std::string member;       ///< name of the member it exempts ("" if unclear)
+  bool empty_reason = false;  ///< justification string is empty/whitespace
+  int line = 0;
+};
+
 /// Per-file parse result. `text` is the comment/string-stripped source
-/// (stripped bytes become spaces, so offsets and lines match the original).
+/// (stripped bytes become spaces, so offsets and lines match the original);
+/// `raw` is the untouched original (string contents, multibyte characters)
+/// for the few places that need it: SARIF UTF-16 columns and APN_SHARED
+/// reason strings.
 struct FileIR {
   std::string path;
   std::string text;
+  std::string raw;
   std::vector<FunctionIR> functions;
   std::vector<ClassIR> classes;
+  std::vector<OwnerDecl> owner_decls;
+  std::vector<SharedDecl> shared_decls;
 
   int line_of(std::size_t off) const;
   /// First line of the statement containing `off` (for suppressions that
@@ -191,6 +233,15 @@ struct ProjectContext {
   std::set<std::string> instrumented_scoped;
   /// Classes (by name) known to participate in race detection.
   std::set<std::string> instrumented_classes;
+  /// Ownership graph: class name -> declared APN_OWNER domain.
+  std::map<std::string, std::string> owner_domains;
+  /// "Class::member" entries exempted from the single-owner rule via
+  /// APN_SHARED.
+  std::set<std::string> shared_members;
+  /// Data members of every named class: class -> member name -> declared
+  /// type text. Lets the ownership rule resolve `obj->field` accesses and
+  /// member-variable types across translation units.
+  std::map<std::string, std::map<std::string, std::string>> class_fields;
 };
 
 /// Phase 1: harvest declarations from one file into `ctx`.
@@ -208,6 +259,16 @@ std::vector<Finding> lint_source(const std::string& path,
 /// Lint a file on disk (single-file context). Returns false (and leaves
 /// `out` untouched) if the file cannot be read.
 bool lint_file(const std::string& path, std::vector<Finding>& out);
+
+/// Full two-phase project run over `files` (already expanded and sorted by
+/// the caller) with `jobs` worker threads (<= 0 picks the hardware
+/// concurrency). Parsing and rule execution parallelize per file; the
+/// declaration harvest runs serially in file order and findings are
+/// concatenated in file order, so the output is byte-identical for every
+/// job count. Returns false (with the offending path in `bad_path`) when a
+/// file cannot be read.
+bool run_project(const std::vector<std::string>& files, int jobs,
+                 std::vector<Finding>& out, std::string* bad_path);
 
 /// Read a file into `out`; false on I/O error.
 bool read_file(const std::string& path, std::string& out);

@@ -2,22 +2,28 @@
 //
 // Usage:
 //   apn-lint [--baseline=FILE] [--coverage-baseline=FILE]
-//            [--update-baseline] [--sarif=FILE] <path>...
+//            [--ownership-baseline=FILE] [--update-baseline]
+//            [--sarif=FILE] [--jobs=N] <path>...
 //
 // Paths may be files or directories (directories are walked recursively for
 // C/C++ sources). The whole tree is parsed first (phase 1: declaration
 // harvest) so the flow rules see cross-file facts, then linted (phase 2).
+// Both phases parallelize per file across --jobs worker threads (default:
+// hardware concurrency); findings are committed in path order, so the
+// output is byte-identical for every job count.
 //
-// check-coverage findings ratchet through --coverage-baseline; every other
+// check-coverage findings ratchet through --coverage-baseline and
+// partition-ownership findings through --ownership-baseline; every other
 // rule ratchets through --baseline. --update-baseline rewrites whichever of
-// the two files was named on the command line from the current findings.
-// --sarif writes a SARIF 2.1.0 log of the post-baseline findings (written
-// even when clean, so CI can upload unconditionally).
+// the named files from the current findings. --sarif writes a SARIF 2.1.0
+// log of the post-baseline findings (written even when clean, so CI can
+// upload unconditionally).
 //
 // Exit codes: 0 clean (stale baseline entries only warn), 1 findings not
 // covered by a baseline, 2 usage or I/O error.
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -65,14 +71,17 @@ bool write_text(const std::string& path, const std::string& body) {
 }
 
 bool is_coverage(const Finding& f) { return f.rule == "check-coverage"; }
+bool is_ownership(const Finding& f) { return f.rule == "partition-ownership"; }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string baseline_path;
   std::string coverage_path;
+  std::string ownership_path;
   std::string sarif_path;
   bool update_baseline = false;
+  int jobs = 0;  // 0 = hardware concurrency
   std::vector<std::string> roots;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -80,8 +89,16 @@ int main(int argc, char** argv) {
       baseline_path = arg.substr(std::string("--baseline=").size());
     } else if (arg.rfind("--coverage-baseline=", 0) == 0) {
       coverage_path = arg.substr(std::string("--coverage-baseline=").size());
+    } else if (arg.rfind("--ownership-baseline=", 0) == 0) {
+      ownership_path = arg.substr(std::string("--ownership-baseline=").size());
     } else if (arg.rfind("--sarif=", 0) == 0) {
       sarif_path = arg.substr(std::string("--sarif=").size());
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      jobs = std::atoi(arg.c_str() + std::string("--jobs=").size());
+      if (jobs < 0) {
+        std::fprintf(stderr, "apn-lint: bad --jobs value '%s'\n", arg.c_str());
+        return 2;
+      }
     } else if (arg == "--update-baseline") {
       update_baseline = true;
     } else if (arg.rfind("--", 0) == 0) {
@@ -94,13 +111,15 @@ int main(int argc, char** argv) {
   if (roots.empty()) {
     std::fprintf(stderr,
                  "usage: apn-lint [--baseline=FILE] [--coverage-baseline=FILE] "
-                 "[--update-baseline] [--sarif=FILE] <path>...\n");
+                 "[--ownership-baseline=FILE] [--update-baseline] "
+                 "[--sarif=FILE] [--jobs=N] <path>...\n");
     return 2;
   }
-  if (update_baseline && baseline_path.empty() && coverage_path.empty()) {
+  if (update_baseline && baseline_path.empty() && coverage_path.empty() &&
+      ownership_path.empty()) {
     std::fprintf(stderr,
                  "apn-lint: --update-baseline needs --baseline= and/or "
-                 "--coverage-baseline=\n");
+                 "--coverage-baseline= and/or --ownership-baseline=\n");
     return 2;
   }
 
@@ -114,55 +133,45 @@ int main(int argc, char** argv) {
   }
   std::sort(files.begin(), files.end());
 
-  // Phase 1: parse everything, harvest cross-file declarations.
-  std::vector<apn::lint::FileIR> irs;
-  irs.reserve(files.size());
-  apn::lint::ProjectContext ctx;
-  for (const std::string& f : files) {
-    std::string src;
-    if (!apn::lint::read_file(f, src)) {
-      std::fprintf(stderr, "apn-lint: cannot read %s\n", f.c_str());
-      return 2;
-    }
-    irs.push_back(apn::lint::parse(f, src));
-    apn::lint::scan_declarations(irs.back(), ctx);
-  }
-
-  // Phase 2: rules.
+  // Two-phase project analysis (parse + harvest + rules), parallel per file.
   std::vector<Finding> findings;
-  for (const apn::lint::FileIR& ir : irs) {
-    std::vector<Finding> got = apn::lint::lint_ir(ir, ctx);
-    findings.insert(findings.end(), got.begin(), got.end());
+  std::string bad_path;
+  if (!apn::lint::run_project(files, jobs, findings, &bad_path)) {
+    std::fprintf(stderr, "apn-lint: cannot read %s\n", bad_path.c_str());
+    return 2;
   }
 
-  std::vector<Finding> general, coverage;
-  for (const Finding& f : findings)
-    (is_coverage(f) ? coverage : general).push_back(f);
+  std::vector<Finding> general, coverage, ownership;
+  for (const Finding& f : findings) {
+    if (is_coverage(f)) coverage.push_back(f);
+    else if (is_ownership(f)) ownership.push_back(f);
+    else general.push_back(f);
+  }
 
   if (update_baseline) {
-    if (!baseline_path.empty()) {
-      if (!write_text(baseline_path, apn::lint::format_baseline(general))) {
-        std::fprintf(stderr, "apn-lint: cannot write %s\n",
-                     baseline_path.c_str());
+    struct Target {
+      const char* what;
+      const std::string* path;
+      const std::vector<Finding>* set;
+    };
+    const Target targets[] = {
+        {"baseline", &baseline_path, &general},
+        {"coverage baseline", &coverage_path, &coverage},
+        {"ownership baseline", &ownership_path, &ownership},
+    };
+    for (const Target& tgt : targets) {
+      if (tgt.path->empty()) continue;
+      if (!write_text(*tgt.path, apn::lint::format_baseline(*tgt.set))) {
+        std::fprintf(stderr, "apn-lint: cannot write %s\n", tgt.path->c_str());
         return 2;
       }
-      std::fprintf(stderr, "apn-lint: baseline updated (%zu findings) -> %s\n",
-                   general.size(), baseline_path.c_str());
-    }
-    if (!coverage_path.empty()) {
-      if (!write_text(coverage_path, apn::lint::format_baseline(coverage))) {
-        std::fprintf(stderr, "apn-lint: cannot write %s\n",
-                     coverage_path.c_str());
-        return 2;
-      }
-      std::fprintf(stderr,
-                   "apn-lint: coverage baseline updated (%zu findings) -> %s\n",
-                   coverage.size(), coverage_path.c_str());
+      std::fprintf(stderr, "apn-lint: %s updated (%zu findings) -> %s\n",
+                   tgt.what, tgt.set->size(), tgt.path->c_str());
     }
     return 0;
   }
 
-  apn::lint::Baseline baseline, cov_baseline;
+  apn::lint::Baseline baseline, cov_baseline, own_baseline;
   if (!baseline_path.empty() && !load_baseline(baseline_path, baseline)) {
     std::fprintf(stderr, "apn-lint: cannot read baseline %s\n",
                  baseline_path.c_str());
@@ -173,17 +182,25 @@ int main(int argc, char** argv) {
                  coverage_path.c_str());
     return 2;
   }
+  if (!ownership_path.empty() && !load_baseline(ownership_path, own_baseline)) {
+    std::fprintf(stderr, "apn-lint: cannot read ownership baseline %s\n",
+                 ownership_path.c_str());
+    return 2;
+  }
 
   std::vector<std::string> stale;
   std::vector<Finding> fresh =
       apn::lint::apply_baseline(general, baseline, &stale);
   std::vector<Finding> fresh_cov =
       apn::lint::apply_baseline(coverage, cov_baseline, &stale);
+  std::vector<Finding> fresh_own =
+      apn::lint::apply_baseline(ownership, own_baseline, &stale);
   fresh.insert(fresh.end(), fresh_cov.begin(), fresh_cov.end());
+  fresh.insert(fresh.end(), fresh_own.begin(), fresh_own.end());
   std::sort(fresh.begin(), fresh.end(),
             [](const Finding& a, const Finding& b) {
-              return std::tie(a.path, a.line, a.rule) <
-                     std::tie(b.path, b.line, b.rule);
+              return std::tie(a.path, a.line, a.rule, a.col) <
+                     std::tie(b.path, b.line, b.rule, b.col);
             });
 
   if (!sarif_path.empty() &&
