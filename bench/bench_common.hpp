@@ -16,6 +16,9 @@
 //   --hw-profile=<n>   hardware profile (APN_HW_PROFILE; docs/HARDWARE.md)
 //   --json=<path>      NDJSON record per measured point (APN_BENCH_JSON)
 //   --check            enable the same-tick race detector (like APN_CHECK=1)
+//   --coro-check       enable the coroutine frame-lifetime oracle (like
+//                      APN_CORO_CHECK=1): report + abort at exit if any
+//                      frame is still suspended
 //   --state-hash-out=F write per-event rolling state hashes to F; diffing
 //                      two runs' files pinpoints the first divergent event
 #pragma once
@@ -33,6 +36,7 @@
 #include <vector>
 
 #include "check/check.hpp"
+#include "check/coro_check.hpp"
 #include "cluster/cluster.hpp"
 #include "cluster/harness.hpp"
 #include "common/table.hpp"
@@ -201,7 +205,8 @@ class Runner {
     init_check_flags(argc, argv);
   }
 
-  /// Parse --check / --owner-check / --state-hash-out=<path> (shared with
+  /// Parse --check / --owner-check / --coro-check / --state-hash-out=<path>
+  /// (shared with
   /// bus_analyzer). Any flag arms the race detector for every Simulator
   /// built after this call (cluster::Cluster installs a check::Session
   /// from it); --owner-check additionally arms the partition-ownership
@@ -212,6 +217,9 @@ class Runner {
         check::Session::force_enable(true);
       } else if (std::strcmp(argv[i], "--owner-check") == 0) {
         check::Session::force_owner_check(true);
+      } else if (std::strcmp(argv[i], "--coro-check") == 0) {
+        check::coro::force_enable(true);
+        check::coro::install_exit_report();
       } else if (std::strncmp(argv[i], "--state-hash-out=", 17) == 0) {
         const char* path = argv[i] + 17;
         if (*path == '\0') {

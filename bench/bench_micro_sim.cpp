@@ -55,18 +55,18 @@ void BM_CoroutinePingPong(benchmark::State& state) {
     sim::Simulator sim;
     sim::Queue<int> a(sim), b(sim);
     const int rounds = static_cast<int>(state.range(0));
-    [](sim::Queue<int>& a, sim::Queue<int>& b, int rounds) -> sim::Coro {
+    [](sim::Queue<int>* a, sim::Queue<int>* b, int rounds) -> sim::Coro {
       for (int i = 0; i < rounds; ++i) {
-        a.push(i);
-        co_await b.pop();
+        a->push(i);
+        co_await b->pop();
       }
-    }(a, b, rounds);
-    [](sim::Queue<int>& a, sim::Queue<int>& b, int rounds) -> sim::Coro {
+    }(&a, &b, rounds);
+    [](sim::Queue<int>* a, sim::Queue<int>* b, int rounds) -> sim::Coro {
       for (int i = 0; i < rounds; ++i) {
-        int v = co_await a.pop();
-        b.push(v);
+        int v = co_await a->pop();
+        b->push(v);
       }
-    }(a, b, rounds);
+    }(&a, &b, rounds);
     sim.run();
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));

@@ -9,9 +9,11 @@
 //   $ ./examples/bus_analyzer --state-hash-out=a.hash # per-event hashes
 //
 // --check arms the same-tick race detector (same as APN_CHECK=1);
-// --state-hash-out= additionally writes one rolling-state-hash line per
-// event, so diffing the files of two runs pinpoints the first divergent
-// event (see docs/CORRECTNESS.md).
+// --coro-check arms the coroutine frame-lifetime oracle (same as
+// APN_CORO_CHECK=1), which reports — and fails on — any coroutine frame
+// still suspended at exit; --state-hash-out= additionally writes one
+// rolling-state-hash line per event, so diffing the files of two runs
+// pinpoints the first divergent event (see docs/CORRECTNESS.md).
 //
 // With --trace-out (or APN_TRACE=1) the run also produces a Chrome
 // trace-event JSON: load it in https://ui.perfetto.dev to see the protocol
@@ -23,6 +25,7 @@
 #include <string>
 
 #include "check/check.hpp"
+#include "check/coro_check.hpp"
 #include "cluster/cluster.hpp"
 #include "trace/metrics.hpp"
 #include "trace/trace.hpp"
@@ -40,6 +43,9 @@ int main(int argc, char** argv) {
       if (trace_path.empty()) trace_path = "bus_analyzer_trace.json";
     } else if (std::strcmp(a, "--check") == 0) {
       check::Session::force_enable(true);
+    } else if (std::strcmp(a, "--coro-check") == 0) {
+      check::coro::force_enable(true);
+      check::coro::install_exit_report();
     } else if (std::strncmp(a, "--state-hash-out=", 17) == 0) {
       if (a[17] == '\0') {
         std::fprintf(stderr, "error: --state-hash-out= requires a path\n");
@@ -49,7 +55,7 @@ int main(int argc, char** argv) {
       check::HashSink::global().open(a + 17);
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--trace-out[=path]] [--check] "
+                   "usage: %s [--trace-out[=path]] [--check] [--coro-check] "
                    "[--state-hash-out=path]\n",
                    argv[0]);
       return 2;

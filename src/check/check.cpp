@@ -1,5 +1,7 @@
 #include "check/check.hpp"
 
+#include "check/coro_check.hpp"
+
 #include <cinttypes>
 #include <cstdlib>
 #include <cstring>
@@ -324,7 +326,12 @@ bool Session::env_enabled() {
   return e != nullptr && e[0] != '\0' && std::strcmp(e, "0") != 0;
 }
 
-void Session::force_enable(bool on) { g_forced = on; }
+void Session::force_enable(bool on) {
+  g_forced = on;
+  // Arm frame poisoning too: --check / APN_CHECK covers the coroutine
+  // frame-lifetime oracle's use-after-free half (coro_check.hpp).
+  coro::mirror_check_forced(on);
+}
 
 bool Session::owner_check_enabled() {
   if (g_owner_forced) return true;

@@ -10,19 +10,38 @@
 
 #include <coroutine>
 #include <exception>
+#include <source_location>
 
+#include "check/coro_check.hpp"
 #include "sim/simulator.hpp"
 
 namespace apn::sim {
 
 /// Detached simulation process handle. Fire-and-forget.
+///
+/// The promise owns the frame-lifetime oracle hooks (src/check/
+/// coro_check.hpp): frame allocation registers the frame, and the
+/// promise constructor's defaulted source_location argument is evaluated
+/// inside the coroutine itself, so the registry records the coroutine
+/// function's own file:line and name — lambdas included. When the oracle
+/// is disabled (the default) each hook is one relaxed bool load.
 struct Coro {
   struct promise_type {
+    promise_type(
+        std::source_location loc = std::source_location::current()) noexcept {
+      check::coro::note_promise(loc);
+    }
     Coro get_return_object() noexcept { return {}; }
     std::suspend_never initial_suspend() noexcept { return {}; }
     std::suspend_never final_suspend() noexcept { return {}; }
     void return_void() noexcept {}
     [[noreturn]] void unhandled_exception() { std::terminate(); }
+    static void* operator new(std::size_t bytes) {
+      return check::coro::frame_allocated(bytes);
+    }
+    static void operator delete(void* p, std::size_t bytes) noexcept {
+      check::coro::frame_destroyed(p, bytes);
+    }
   };
 };
 

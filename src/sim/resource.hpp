@@ -32,6 +32,17 @@ class Resource {
   Resource(const Resource&) = delete;
   Resource& operator=(const Resource&) = delete;
 
+  ~Resource() {
+    // Reclaim coroutine frames still waiting on (or being served by) this
+    // resource: they can never resume once the server is gone, and each
+    // suspended frame is reachable from exactly one wait structure, so
+    // destroying them here cannot double-free (see docs/CORRECTNESS.md,
+    // "Coroutine lifetime discipline").
+    if (inflight_h_) inflight_h_.destroy();
+    for (Job& job : queue_)
+      if (job.h) job.h.destroy();
+  }
+
   /// Enqueue a job taking `duration`; `done` fires when the job completes.
   void post(Time duration, UniqueFn<void()> done = {}) {
     queue_.push_back(Job{duration, std::move(done), {}, kInlineResume});
@@ -103,8 +114,10 @@ class Resource {
     if (job.h) {
       const auto h = job.h;
       const Time extra = job.resume_extra_delay;
+      inflight_h_ = h;
       sim_->after(job.duration, [this, h, extra] {
         ++jobs_completed_;
+        inflight_h_ = {};
         if (extra == kInlineResume)
           h.resume();
         else
@@ -129,6 +142,11 @@ class Resource {
   }
 
   Simulator* sim_;
+  /// Frame of the typed job currently being served; its resume handle is
+  /// captured in a pending completion event whose drop path cannot reach
+  /// it, so the destructor reclaims it from here if the completion never
+  /// fires (teardown before drain).
+  std::coroutine_handle<> inflight_h_{};
   bool busy_ = false;
   Time busy_time_ = 0;
   std::uint64_t jobs_completed_ = 0;

@@ -46,6 +46,7 @@
 #include <utility>
 #include <vector>
 
+#include "check/coro_check.hpp"
 #include "common/hot.hpp"
 #include "common/units.hpp"
 
@@ -76,7 +77,10 @@ class EventHook {
 
 class Simulator {
  public:
-  Simulator() = default;
+  // The coro-check tick mirror (a thread-local, stored at tick advances,
+  // never on the per-event path) lets frame registration stamp a simulated
+  // birth time without the sim layer depending on the check layer.
+  Simulator() { check::coro::note_tick(0); }
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -162,7 +166,10 @@ class Simulator {
   /// Run all events with time <= `t`, then advance the clock to `t`.
   void run_until(Time t) {
     while (peek_time(t)) step();
-    if (now_ < t) now_ = t;
+    if (now_ < t) {
+      now_ = t;
+      check::coro::note_tick(now_);
+    }
   }
 
   /// Install (or clear, with nullptr) the event-dispatch observer. Debug
@@ -225,7 +232,17 @@ class Simulator {
     h.resume();
   }
 
-  static void noop_drop(EventNode*) {}
+  /// Dropping a pending resume reclaims the suspended frame: it can never
+  /// be resumed once its node is discarded, and the node is the only thing
+  /// holding it (a frame is parked XOR scheduled). Cascaded destroys (frame
+  /// locals releasing sync primitives with their own parked frames) never
+  /// touch this simulator's queues, so the destructor's drop loops stay
+  /// valid while frames die under them.
+  static void coro_drop(EventNode* n) {
+    auto h = *std::launder(
+        reinterpret_cast<std::coroutine_handle<>*>(n->storage));
+    if (h) h.destroy();
+  }
 
   template <typename F>
   static void inline_invoke(Simulator& sim, EventNode* n) {
@@ -287,7 +304,7 @@ class Simulator {
     n->seq = next_seq_++;
     n->parent = running_seq_;
     n->invoke = &coro_invoke;
-    n->drop = &noop_drop;
+    n->drop = &coro_drop;
     ::new (static_cast<void*>(n->storage)) std::coroutine_handle<>(h);
     return n;
   }
@@ -463,6 +480,7 @@ class Simulator {
       const std::size_t rel =
           next_occupied_slot(static_cast<std::size_t>(now_ - base_));
       now_ = base_ + static_cast<Time>(rel);
+      check::coro::note_tick(now_);
       return wheel_pop(rel);
     }
     if (heap_.empty()) return nullptr;
@@ -473,6 +491,7 @@ class Simulator {
     // stays seq-sorted.
     base_ = heap_[0].time;
     now_ = base_;
+    check::coro::note_tick(now_);
     const HeapEntry top = heap_pop();
     while (!heap_.empty() && heap_[0].time - base_ < kWheelSlots) {
       const HeapEntry e = heap_pop();

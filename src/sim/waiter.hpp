@@ -26,14 +26,37 @@ struct Waiter {
 };
 
 /// Intrusive singly-linked FIFO of suspended coroutines. Does not own its
-/// nodes; each node must stay alive (i.e. the owning coroutine must stay
-/// suspended) until popped.
+/// nodes while alive; each node must stay alive (i.e. the owning coroutine
+/// must stay suspended) until popped. Destruction is the one exception:
+/// a frame still parked here when the primitive dies can never resume, so
+/// the destructor reclaims it (see "Coroutine lifetime discipline" in
+/// docs/CORRECTNESS.md — this is what lets --coro-check treat any frame
+/// alive at exit as a genuine leak).
 template <typename Node = Waiter>
 class WaiterList {
  public:
   WaiterList() = default;
   WaiterList(const WaiterList&) = delete;
   WaiterList& operator=(const WaiterList&) = delete;
+
+  ~WaiterList() {
+    // The node lives inside the frame being destroyed, so read the link
+    // before the destroy. Destroys may cascade (a dying frame's locals can
+    // drop the last reference to another primitive holding parked frames),
+    // but never re-enter this list: a frame parked here cannot also hold
+    // the last reference to this list's owner, or the owner would still be
+    // alive.
+    Node* n = head_;
+    head_ = nullptr;
+    tail_ = nullptr;
+    size_ = 0;
+    while (n != nullptr) {
+      Node* next = static_cast<Node*>(n->next);
+      std::coroutine_handle<> h = n->handle;
+      n = next;
+      if (h) h.destroy();
+    }
+  }
 
   bool empty() const { return head_ == nullptr; }
   std::size_t size() const { return size_; }

@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -178,10 +179,12 @@ TEST(LintDroppedAwaitable, BareAwaiterCallIsFlagged) {
 }
 
 TEST(LintDroppedAwaitable, ConsumedOrBoundResultsAreClean) {
+  // Pointer parameters: references read after the first co_await would
+  // (correctly) fire coro-ref-param, which is not under test here.
   EXPECT_TRUE(lint_source("src/core/x.cpp",
-                          "sim::Coro run(Gate& g, Semaphore& s) {\n"
-                          "  co_await g.wait();\n"
-                          "  auto tok = s.acquire();\n"
+                          "sim::Coro run(Gate* g, Semaphore* s) {\n"
+                          "  co_await g->wait();\n"
+                          "  auto tok = s->acquire();\n"
                           "  co_await tok;\n"
                           "}\n")
                   .empty());
@@ -206,6 +209,94 @@ TEST(LintDroppedAwaitable, HarvestsDeclaredAwaiterReturnTypes) {
   ASSERT_EQ(f.size(), 1u);
   EXPECT_EQ(f[0].rule, "dropped-awaitable");
   EXPECT_EQ(f[0].line, 3);
+}
+
+// ---- coroutine suspension safety -------------------------------------------
+
+TEST(LintCoroRefParam, RefReadAfterSuspensionFlagged) {
+  auto f = lint_source("src/cluster/x.cpp",
+                       "sim::Coro run(Gate& g, Queue<int>& q) {\n"
+                       "  co_await g.wait();\n"
+                       "  q.push(1);\n"
+                       "  co_return;\n"
+                       "}\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "coro-ref-param");
+  EXPECT_EQ(f[0].line, 3);
+  EXPECT_NE(f[0].detail.find("'q'"), std::string::npos);
+}
+
+TEST(LintCoroRefParam, UseWithinFirstSuspensionStatementIsClean) {
+  // The caller's arguments are still alive at the moment of first suspend:
+  // a reference consumed entirely within that statement is fine.
+  EXPECT_TRUE(lint_source("src/cluster/x.cpp",
+                          "sim::Coro run(Gate& g) {\n"
+                          "  co_await g.wait();\n"
+                          "  co_return;\n"
+                          "}\n")
+                  .empty());
+}
+
+TEST(LintCoroRefParam, TestsTreeIsExempt) {
+  // Test code routinely keeps coroutine arguments alive on the test stack
+  // for the whole run; the suspension rules skip tests/ by design.
+  EXPECT_TRUE(lint_source("tests/x.cpp",
+                          "sim::Coro run(Gate& g, Queue<int>& q) {\n"
+                          "  co_await g.wait();\n"
+                          "  q.push(1);\n"
+                          "  co_return;\n"
+                          "}\n")
+                  .empty());
+}
+
+TEST(LintCoroLocalEscape, AddressIntoSinkFlagged) {
+  auto f = lint_source("src/cluster/x.cpp",
+                       "sim::Coro run(sim::Simulator* sim, Gate* g) {\n"
+                       "  int count = 0;\n"
+                       "  sim->schedule_resume(h_, &count);\n"
+                       "  co_await g->wait();\n"
+                       "}\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "coro-local-escape");
+  EXPECT_EQ(f[0].line, 3);
+  EXPECT_NE(f[0].detail.find("'count'"), std::string::npos);
+}
+
+TEST(LintCoroLocalEscape, BinaryAndIsNotAddressOf) {
+  EXPECT_TRUE(lint_source("src/cluster/x.cpp",
+                          "sim::Coro run(sim::Simulator* sim, Gate* g) {\n"
+                          "  int b = 2;\n"
+                          "  sim->after(delay_, cb_, flag_ && b);\n"
+                          "  co_await g->wait();\n"
+                          "}\n")
+                  .empty());
+}
+
+TEST(LintCoroStaleTime, CachedNowReusedAfterResumeFlagged) {
+  auto f = lint_source("src/cluster/x.cpp",
+                       "sim::Coro run(sim::Simulator* sim, Gate* g) {\n"
+                       "  Time start = sim->now();\n"
+                       "  co_await g->wait();\n"
+                       "  stamp(start);\n"
+                       "  co_return;\n"
+                       "}\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "coro-stale-time");
+  EXPECT_EQ(f[0].line, 4);
+  EXPECT_NE(f[0].detail.find("'start'"), std::string::npos);
+}
+
+TEST(LintCoroStaleTime, ElapsedTimeMathIsExempt) {
+  // `sim->now() - start` visibly re-reads the clock: the old timestamp is
+  // the point, not a stale notion of "current time".
+  EXPECT_TRUE(lint_source("src/cluster/x.cpp",
+                          "sim::Coro run(sim::Simulator* sim, Gate* g) {\n"
+                          "  Time start = sim->now();\n"
+                          "  co_await g->wait();\n"
+                          "  Time dt = sim->now() - start;\n"
+                          "  co_return;\n"
+                          "}\n")
+                  .empty());
 }
 
 // ---- unit-mix --------------------------------------------------------------
@@ -605,7 +696,16 @@ INSTANTIATE_TEST_SUITE_P(
         FixtureCase{"calibration-literal", "calibration_literal",
                     "src/core/fixture.cpp"},
         FixtureCase{"partition-ownership", "partition_ownership",
-                    "src/core/fixture.hpp"}),
+                    "src/core/fixture.hpp"},
+        // src/cluster paths: in scope for the suspension-safety rules
+        // (which skip only tests/) but outside the std-function and
+        // calibration-literal directory scopes.
+        FixtureCase{"coro-ref-param", "coro_ref_param",
+                    "src/cluster/fixture.cpp"},
+        FixtureCase{"coro-local-escape", "coro_local_escape",
+                    "src/cluster/fixture.cpp"},
+        FixtureCase{"coro-stale-time", "coro_stale_time",
+                    "src/cluster/fixture.cpp"}),
     [](const ::testing::TestParamInfo<FixtureCase>& info) {
       std::string name;
       bool up = true;  // CamelCase the stem for readable test names
@@ -619,6 +719,28 @@ INSTANTIATE_TEST_SUITE_P(
       }
       return name;
     });
+
+// ---- rule registry ---------------------------------------------------------
+
+TEST(LintRules, EveryRuleHasDocAndFiringExample) {
+  // The --explain contract: every registered rule carries a documentation
+  // paragraph and a minimal example that actually fires that rule.
+  const std::vector<apn::lint::RuleInfo>& rs = apn::lint::rules();
+  ASSERT_FALSE(rs.empty());
+  std::set<std::string> ids;
+  for (const apn::lint::RuleInfo& r : rs) {
+    SCOPED_TRACE(r.id);
+    EXPECT_TRUE(ids.insert(r.id).second) << "duplicate rule id";
+    EXPECT_GE(std::string(r.summary).size(), 10u);
+    EXPECT_GE(std::string(r.doc).size(), 80u) << "doc is not a paragraph";
+    ASSERT_NE(r.example_path, nullptr);
+    ASSERT_NE(r.example, nullptr);
+    bool fired = false;
+    for (const Finding& hit : lint_source(r.example_path, r.example))
+      fired |= hit.rule == r.id;
+    EXPECT_TRUE(fired) << "registered example does not fire its own rule";
+  }
+}
 
 // ---- parallel project driver -----------------------------------------------
 

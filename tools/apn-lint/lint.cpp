@@ -429,6 +429,8 @@ struct BraceInfo {
   std::string name;        // function or class name
   std::size_t name_off = 0;
   std::size_t lp = npos, rp = npos;  // parameter list (functions)
+  bool is_lambda = false;
+  std::size_t cap_open = npos, cap_close = npos;  // '[' / ']' of the capture
 };
 
 /// Given a ')' at `rp0` directly before a '{' (after qualifiers), decide
@@ -448,6 +450,9 @@ BraceInfo analyze_paren_group(const std::string& t, std::size_t rp0) {
     if (t[ne] == ']') {
       std::size_t lb = match_back(t, ne, '[', ']');
       out.kind = 'f';
+      out.is_lambda = true;
+      out.cap_open = lb;
+      out.cap_close = ne;
       out.name_off = lb == npos ? lp : lb;
       out.lp = lp;
       out.rp = rp;
@@ -457,6 +462,18 @@ BraceInfo analyze_paren_group(const std::string& t, std::size_t rp0) {
       std::size_t lt = match_back(t, ne, '<', '>');
       if (lt == npos) return out;
       ne = prev_nonspace(t, lt);
+      if (ne != npos && t[ne] == ']') {
+        // C++20 template lambda `[...]<typename T>(T x) { ... }`.
+        std::size_t lb = match_back(t, ne, '[', ']');
+        out.kind = 'f';
+        out.is_lambda = true;
+        out.cap_open = lb;
+        out.cap_close = ne;
+        out.name_off = lb == npos ? lp : lb;
+        out.lp = lp;
+        out.rp = rp;
+        return out;
+      }
       if (ne == npos || !ident_char(t[ne])) return out;
     }
     if (!ident_char(t[ne])) return out;
@@ -568,7 +585,10 @@ BraceInfo classify_brace(const FileIR& ir, std::size_t b) {
     }
     if (pc == ']') {  // `[&] {` — capture list with no parameter list
       out.kind = 'f';
+      out.is_lambda = true;
       std::size_t lb = match_back(t, p, '[', ']');
+      out.cap_open = lb;
+      out.cap_close = p;
       out.name_off = lb == npos ? p : lb;
       return out;
     }
@@ -708,6 +728,9 @@ void build_scopes(FileIR& ir) {
       if (info.kind == 'f') {
         FunctionIR fn;
         fn.name = info.name;
+        fn.is_lambda = info.is_lambda;
+        fn.cap_open = info.cap_open;
+        fn.cap_close = info.cap_close;
         fn.line = ir.line_of(info.name_off);
         fn.body_begin = i;
         fn.body_end = t.size() > 0 ? t.size() - 1 : 0;
@@ -717,8 +740,21 @@ void build_scopes(FileIR& ir) {
             fn.decl_text = t.substr(ss, info.name_off - ss);
           fn.hot = contains_token(fn.decl_text, "APN_HOT");
         }
-        if (info.lp != npos && info.rp != npos && !info.name.empty())
-          parse_params(ir, info.lp, info.rp, fn.locals);
+        if (info.lp != npos && info.rp != npos) {
+          parse_params(ir, info.lp, info.rp, fn.params);
+          fn.locals = fn.params;
+        }
+        // Return type naming Coro: either in the declaration text before
+        // the name (`sim::Coro run(...)`) or in the tail between the
+        // parameter list / capture list and the body ('{') — the trailing
+        // return home of lambdas (`[](...) -> sim::Coro {`).
+        std::size_t tail_b = info.rp != npos          ? info.rp + 1
+                             : info.cap_close != npos ? info.cap_close + 1
+                                                      : npos;
+        const bool tail_coro =
+            tail_b != npos && tail_b < i &&
+            contains_token(t.substr(tail_b, i - tail_b), "Coro");
+        fn.returns_coro = tail_coro || contains_token(fn.decl_text, "Coro");
         s.index = static_cast<int>(ir.functions.size());
         ir.functions.push_back(std::move(fn));
       } else if (info.kind == 'c') {
@@ -1077,41 +1113,248 @@ void rule_ptr_key_iter(const FileIR& ir, const std::vector<Ident>& ids,
 
 // ---- rule: detached-coro ---------------------------------------------------
 
-void rule_detached_coro(const FileIR& ir, const std::vector<Ident>& ids,
-                        std::vector<Finding>& out) {
-  const std::string& t = ir.text;
-  for (const Ident& id : ids) {
-    if (id.text != "Coro") continue;
-    std::size_t p = prev_nonspace(t, id.off);
-    while (p != npos && t[p] == ':' && p > 0 && t[p - 1] == ':') {
-      std::size_t q = prev_nonspace(t, p - 1);
-      if (q == npos || !ident_char(t[q])) {
-        p = npos;
-        break;
-      }
-      while (q > 0 && ident_char(t[q - 1])) --q;
-      p = prev_nonspace(t, q);
-    }
-    if (p == npos || t[p] != '>' || p == 0 || t[p - 1] != '-') continue;
-    std::size_t rp = prev_nonspace(t, p - 1);
-    if (rp == npos || t[rp] != ')') continue;
-    std::size_t lp = match_back(t, rp, '(', ')');
-    if (lp == npos) continue;
-    std::size_t rb = prev_nonspace(t, lp);
-    if (rb == npos || t[rb] != ']') continue;
-    std::size_t lb = match_back(t, rb, '[', ']');
-    if (lb == npos) continue;
-    std::string captures = t.substr(lb + 1, rb - lb - 1);
-    captures.erase(std::remove_if(captures.begin(), captures.end(),
-                                  [](char c) {
-                                    return c == ' ' || c == '\n' || c == '\t';
-                                  }),
-                   captures.end());
-    if (captures.empty()) continue;  // repo idiom: params own the state
-    add(out, ir, lb, "detached-coro",
+/// Capture-list text of a lambda FunctionIR, whitespace-stripped ("" when
+/// the capture brackets are unknown or empty).
+std::string capture_text(const FileIR& ir, const FunctionIR& f) {
+  if (!f.is_lambda || f.cap_open == npos || f.cap_close == npos ||
+      f.cap_close <= f.cap_open + 1)
+    return "";
+  std::string cap =
+      ir.text.substr(f.cap_open + 1, f.cap_close - f.cap_open - 1);
+  cap.erase(std::remove_if(cap.begin(), cap.end(),
+                           [](char c) {
+                             return c == ' ' || c == '\n' || c == '\t';
+                           }),
+            cap.end());
+  return cap;
+}
+
+void rule_detached_coro(const FileIR& ir, std::vector<Finding>& out) {
+  // v4: works off the scope tree (is_lambda + returns_coro) instead of
+  // token-walking back from a `-> Coro` arrow, so template lambdas and
+  // multi-line signatures are covered and strings/comments can't confuse
+  // the match.
+  for (const FunctionIR& f : ir.functions) {
+    if (!f.is_lambda || !f.returns_coro) continue;
+    if (capture_text(ir, f).empty()) continue;  // repo idiom: params own it
+    add(out, ir, f.cap_open, "detached-coro",
         "capturing lambda returning a coroutine: captures die with the "
         "lambda temporary while the frame lives on; pass state as "
         "parameters instead");
+  }
+}
+
+// ---- rules: coroutine suspension safety ------------------------------------
+//
+// Shared helpers for coro-ref-param / coro-local-escape / coro-stale-time.
+// All three reason about what may legally cross a co_await: only state owned
+// by the coroutine frame itself (value parameters, locals read before the
+// suspension or refreshed after it). See docs/CORRECTNESS.md, "Coroutine
+// lifetime discipline".
+
+/// End of the statement containing the co_await at `aw`: the first ';' or
+/// '{' after it. Uses *within* the suspension's own statement are safe —
+/// the caller/arguments are still alive at the moment of first suspend.
+std::size_t suspension_boundary(const FileIR& ir, std::size_t aw) {
+  const std::string& t = ir.text;
+  std::size_t b = aw;
+  while (b < t.size() && t[b] != ';' && t[b] != '{') ++b;
+  return b;
+}
+
+/// First co_await of `f` strictly after `off`, or npos. co_awaits are
+/// collected in text order, so a forward scan finds the earliest.
+std::size_t first_await_after(const FunctionIR& f, std::size_t off) {
+  for (std::size_t aw : f.co_awaits)
+    if (aw > off) return aw;
+  return npos;
+}
+
+/// True when the identifier at `id` is a member access (`obj.id` / `o->id`).
+bool is_member_use(const std::string& t, const Ident& id) {
+  std::size_t p = prev_nonspace(t, id.off);
+  if (p == npos) return false;
+  if (t[p] == '.') return true;
+  return t[p] == '>' && p > 0 && t[p - 1] == '-';
+}
+
+void rule_coro_ref_param(const FileIR& ir, const std::vector<Ident>& ids,
+                         std::vector<Finding>& out) {
+  const std::string& t = ir.text;
+  for (const FunctionIR& f : ir.functions) {
+    if (!f.returns_coro || f.co_awaits.empty()) continue;
+    const std::size_t bnd = suspension_boundary(ir, f.co_awaits.front());
+    for (const Decl& p : f.params) {
+      // References only: pointer parameters are the sanctioned spelling for
+      // caller-managed lifetime (mirrored by the runtime oracle's tests).
+      if (p.type_text.find('&') == npos) continue;
+      for (const Ident& id : ids) {
+        if (id.off <= bnd) continue;
+        if (id.off >= f.body_end) break;
+        if (id.text != p.name || is_member_use(t, id)) continue;
+        add(out, ir, id.off, "coro-ref-param",
+            "reference parameter '" + p.name +
+                "' of a coroutine read after a suspension point: the "
+                "caller's argument may be gone by resume; take it by value "
+                "(copied into the frame) or as a pointer whose lifetime the "
+                "caller guarantees");
+        break;  // one finding per parameter
+      }
+    }
+  }
+}
+
+void rule_coro_local_escape(const FileIR& ir, const std::vector<Ident>& ids,
+                            const ProjectContext& ctx,
+                            std::vector<Finding>& out) {
+  // Sinks that store a callable, message or handle beyond the current
+  // statement: the event queue (at/after/schedule_resume/resume_*), links
+  // and channels (send/post).
+  static const std::set<std::string> kSinks = {
+      "at",   "after", "schedule_resume", "resume_at",
+      "resume_after", "send", "post"};
+  const std::string& t = ir.text;
+
+  // `&ident` in address-of position (after '(', ',', '?', ':', '=' — not a
+  // binary AND) inside [begin, end) where ident names a frame local of `f`.
+  auto scan_addr_of = [&](const FunctionIR& f, std::size_t begin,
+                          std::size_t end, const std::string& what) {
+    std::set<std::string> local_names;
+    for (const Decl& d : f.locals) local_names.insert(d.name);
+    for (const Ident& id : ids) {
+      if (id.off < begin) continue;
+      if (id.off >= end) break;
+      if (local_names.count(id.text) == 0) continue;
+      std::size_t amp = prev_nonspace(t, id.off);
+      if (amp == npos || t[amp] != '&') continue;
+      if (amp > 0 && t[amp - 1] == '&') continue;  // '&&' is not address-of
+      std::size_t before = prev_nonspace(t, amp);
+      if (before == npos) continue;
+      const char b = t[before];
+      if (b != '(' && b != ',' && b != '?' && b != ':' && b != '=') continue;
+      add(out, ir, amp, "coro-local-escape",
+          "address of coroutine frame local '" + id.text + "' escapes into " +
+              what +
+              ": it can be dereferenced after this frame advanced past the "
+              "local's scope or died; pass a copy or owner-managed storage");
+    }
+  };
+
+  for (const FunctionIR& f : ir.functions) {
+    if (!f.returns_coro) continue;
+    for (const Call& c : f.calls) {
+      const bool sink = kSinks.count(c.callee) != 0;
+      const bool spawn = ctx.coro_fns.count(c.callee) != 0 && !c.member_access;
+      if (!sink && !spawn) continue;
+      scan_addr_of(f, c.off, c.close,
+                   sink ? "'" + c.callee + "(...)'"
+                        : "spawned coroutine '" + c.callee + "'");
+      if (!sink) continue;
+      // By-reference lambda captures handed to a sink: the callback can run
+      // after this frame has moved on. Value captures ([=], [x]) and
+      // [this] (the owning object outlives its own event) are fine.
+      for (const FunctionIR& g : ir.functions) {
+        if (!g.is_lambda || g.cap_open == npos) continue;
+        if (g.cap_open <= c.off || g.cap_open >= c.close) continue;
+        const std::string cap = capture_text(ir, g);
+        if (cap.find('&') == npos) continue;
+        add(out, ir, g.cap_open, "coro-local-escape",
+            "by-reference lambda capture scheduled via '" + c.callee +
+                "(...)' from a coroutine: the callback can run after this "
+                "frame has suspended or died; capture by value");
+      }
+    }
+    // Immediately-invoked coroutine lambdas spawned from inside this
+    // coroutine: `[](T* p) -> sim::Coro {...}(&local)`.
+    for (const FunctionIR& g : ir.functions) {
+      if (!g.is_lambda || !g.returns_coro) continue;
+      if (g.body_begin <= f.body_begin || g.body_end >= f.body_end) continue;
+      std::size_t open = next_nonspace(t, g.body_end + 1);
+      if (open == npos || t[open] != '(') continue;
+      std::size_t close = match_fwd(t, open, '(', ')');
+      if (close == npos) continue;
+      scan_addr_of(f, open, close, "a spawned coroutine lambda");
+    }
+  }
+}
+
+void rule_coro_stale_time(const FileIR& ir, const std::vector<Ident>& ids,
+                          const ProjectContext& ctx,
+                          std::vector<Finding>& out) {
+  static const std::set<std::string> kCellReads = {"get", "sample", "peek"};
+  const std::string& t = ir.text;
+  for (const FunctionIR& f : ir.functions) {
+    if (!f.returns_coro || f.co_awaits.empty()) continue;
+    for (const Call& c : f.calls) {
+      bool time_read = false;
+      std::string source;
+      if (c.callee == "now") {
+        time_read = true;
+        source = "now()";
+      } else if (c.member_access && kCellReads.count(c.callee) != 0) {
+        // Resolve the object: `cell.get()` / `cell->get()` where `cell` is
+        // a known StateCell member.
+        std::size_t dot = prev_nonspace(t, c.off);
+        if (dot == npos) continue;
+        std::size_t ob = dot;
+        if (t[dot] == '.') ob = prev_nonspace(t, dot);
+        else if (t[dot] == '>' && dot > 0 && t[dot - 1] == '-')
+          ob = prev_nonspace(t, dot - 1);
+        else
+          continue;
+        if (ob == npos || !ident_char(t[ob])) continue;
+        std::size_t obb;
+        const std::string obj = token_ending_at(t, ob, &obb);
+        if (ctx.statecell_members.count(obj) == 0) continue;
+        time_read = true;
+        source = "StateCell '" + obj + "'";
+      }
+      if (!time_read) continue;
+      // Cached into a variable? `Time t0 = sim.now();` / `t0 = cell.get();`
+      // — the assigned name is the last identifier before the '='.
+      const std::size_t ss = stmt_start_of(ir, c.off);
+      if (ss >= c.off) continue;
+      const std::string prefix = t.substr(ss, c.off - ss);
+      const std::size_t eq = prefix.find('=');
+      if (eq == npos || (eq + 1 < prefix.size() && prefix[eq + 1] == '='))
+        continue;
+      std::string name;
+      for (const Ident& pid : identifiers(prefix.substr(0, eq)))
+        name = pid.text;
+      if (name.empty()) continue;
+      const std::size_t aw = first_await_after(f, c.off);
+      if (aw == npos) continue;
+      const std::size_t bnd = suspension_boundary(ir, aw);
+      for (const Ident& id : ids) {
+        if (id.off <= bnd) continue;
+        if (id.off >= f.body_end) break;
+        if (id.text != name || is_member_use(t, id)) continue;
+        // Exempt statements that re-read the clock / re-touch the cell:
+        // `Time dt = sim.now() - start;` is elapsed-time math, not a stale
+        // read.
+        const std::size_t uss = stmt_start_of(ir, id.off);
+        std::size_t usend = id.off;
+        while (usend < t.size() && t[usend] != ';' && t[usend] != '{')
+          ++usend;
+        const std::string stmt = t.substr(uss, usend - uss);
+        if (c.callee == "now") {
+          if (contains_token(stmt, "now")) continue;
+        } else {
+          std::size_t dot2 = prev_nonspace(t, c.off);
+          std::size_t ob2 = t[dot2] == '.' ? prev_nonspace(t, dot2)
+                                           : prev_nonspace(t, dot2 - 1);
+          std::size_t obb2;
+          const std::string obj2 = token_ending_at(t, ob2, &obb2);
+          if (contains_token(stmt, obj2)) continue;
+        }
+        add(out, ir, id.off, "coro-stale-time",
+            "'" + name + "' caches " + source +
+                " from before a co_await and is reused after resume: "
+                "simulated time has advanced across the suspension; re-read "
+                "after resuming");
+        break;  // one finding per cached read
+      }
+    }
   }
 }
 
@@ -1661,6 +1904,11 @@ void scan_declarations(const FileIR& ir, ProjectContext& ctx) {
       ctx.instrumented_classes.insert(owner);
     }
   }
+  // Coroutine-returning functions: their call sites spawn detached frames
+  // (consulted by coro-local-escape).
+  for (const FunctionIR& f : ir.functions) {
+    if (!f.name.empty() && f.returns_coro) ctx.coro_fns.insert(f.name);
+  }
   // StateCell members.
   for (const ClassIR& cls : ir.classes) {
     bool any = false;
@@ -1668,6 +1916,7 @@ void scan_declarations(const FileIR& ir, ProjectContext& ctx) {
       if (m.type_text.find("StateCell") != npos) {
         if (cls.name.empty()) ctx.instrumented.insert(m.name);
         else ctx.instrumented_scoped.insert(cls.name + "::" + m.name);
+        ctx.statecell_members.insert(m.name);
         any = true;
       }
     }
@@ -1712,8 +1961,16 @@ std::vector<Finding> lint_ir(const FileIR& ir, const ProjectContext& ctx) {
     rule_std_function(ir, ids, out);
   }
   rule_ptr_key_iter(ir, ids, out);
-  rule_detached_coro(ir, ids, out);
+  rule_detached_coro(ir, out);
   rule_dropped_awaitable(ir, ctx, out);
+  // Suspension-safety rules skip tests/: test code parks frames and threads
+  // pointers on purpose, and the runtime frame oracle (--coro-check) covers
+  // it dynamically.
+  if (!path_contains(ir.path, "tests/")) {
+    rule_coro_ref_param(ir, ids, out);
+    rule_coro_local_escape(ir, ids, ctx, out);
+    rule_coro_stale_time(ir, ids, ctx, out);
+  }
   if (!path_contains(ir.path, "common/units")) rule_unit_mix(ir, ids, out);
   rule_check_coverage(ir, ctx, out);
   if (path_contains(ir.path, "src/")) {
@@ -1852,38 +2109,213 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
-struct RuleMeta {
-  const char* id;
-  const char* description;
-};
-
-constexpr RuleMeta kRules[] = {
-    {"wall-clock", "Host wall-clock read; simulation time must come from "
-                   "sim::Simulator"},
-    {"raw-rand", "Platform entropy; all randomness must flow through "
-                 "apn::Rng"},
-    {"std-function", "std::function in a hot path; use apn::UniqueFn"},
-    {"ptr-key-iter", "Iteration over a pointer-keyed container is "
-                     "ASLR-dependent"},
-    {"detached-coro", "Capturing lambda returning a coroutine: captures "
-                      "dangle after the call"},
-    {"dropped-awaitable", "Awaitable discarded without co_await; the wait "
-                          "never happens"},
-    {"unit-mix", "Additive arithmetic mixing Time with byte counts or bare "
-                 "literals"},
-    {"check-coverage", "Mutable state member of a race-checked class is not "
-                       "instrumented"},
-    {"hot-path-alloc", "Heap allocation inside an APN_HOT function"},
-    {"calibration-literal", "Unnamed numeric calibration literal in model "
-                            "code; hoist it into the hardware-profile "
-                            "parameter structs"},
-    {"partition-ownership", "Partition-ownership violation: un-annotated sim "
-                            "state, a direct cross-domain member reach "
-                            "without a Channel handoff, or an APN_SHARED "
-                            "with no justification"},
-};
-
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// Rule registry
+// ---------------------------------------------------------------------------
+
+const std::vector<RuleInfo>& rules() {
+  static const std::vector<RuleInfo> kRules = {
+      {"wall-clock",
+       "Host wall-clock read; simulation time must come from sim::Simulator",
+       "The simulator is a discrete-event machine: every timestamp must come "
+       "from sim::Simulator's virtual clock so runs are bit-identical across "
+       "hosts and reruns. Reading std::chrono system/steady/high_resolution "
+       "clocks or the C time APIs (time, clock, gettimeofday, clock_gettime) "
+       "injects host time into the model, which breaks reproduction and "
+       "poisons golden comparisons. Host timing is legal only in the "
+       "rng-exempt measurement code under src/common.",
+       "src/core/example.cpp",
+       "Time stamp() { return std::chrono::steady_clock::now(); }\n"},
+      {"raw-rand",
+       "Platform entropy; all randomness must flow through apn::Rng",
+       "All randomness must flow through apn::Rng (common/rng.hpp), which is "
+       "seedable and bit-stable across platforms. rand()/srand()/random(), "
+       "drand48, std::random_device and the std engines (mt19937, ...) pull "
+       "platform entropy or platform-dependent sequences, so two runs with "
+       "the same seed diverge. The rng module itself is exempt — it is where "
+       "the one sanctioned implementation lives.",
+       "src/core/example.cpp", "int pick() { return rand() % 8; }\n"},
+      {"std-function",
+       "std::function in a hot path; use apn::UniqueFn",
+       "std::function boxes copyable callables behind a potential heap "
+       "allocation and an indirect call; in the event engine's hot layers "
+       "(src/sim, src/core, src/pcie) that cost lands on every event. "
+       "apn::UniqueFn is the repo's move-only callable with inline storage "
+       "sized for the engine's continuations — same expressiveness where it "
+       "matters, no boxing. Cold layers (apps, ib, tools) may still use "
+       "std::function.",
+       "src/sim/example.hpp", "std::function<void()> cb;\n"},
+      {"ptr-key-iter",
+       "Iteration over a pointer-keyed container is ASLR-dependent",
+       "Iterating a map or set keyed by pointers visits elements in address "
+       "order, and addresses change run to run under ASLR. If the iteration "
+       "feeds any model decision (scheduling order, tie-breaks, stats "
+       "layout), the simulation stops being reproducible. Keyed *lookup* is "
+       "fine — only iteration (range-for, begin()) is flagged. Iterate a "
+       "stable index (ordinals, insertion order) instead.",
+       "src/core/example.cpp",
+       "std::map<Node*, int> weights;\n"
+       "int sum() { int s = 0; for (auto& [n, w] : weights) s += w; "
+       "return s; }\n"},
+      {"detached-coro",
+       "Capturing lambda returning a coroutine: captures dangle after the "
+       "call",
+       "A lambda that returns sim::Coro starts a coroutine whose frame "
+       "outlives the lambda object: the temporary closure dies at the end of "
+       "the spawning statement, while the frame keeps resuming. Every "
+       "capture lives in the dead closure, so the first use after a "
+       "suspension is a use-after-free. The repo idiom is an empty capture "
+       "list with all state passed as parameters — parameters are copied "
+       "into the coroutine frame and live exactly as long as it does.",
+       "src/core/example.cpp",
+       "void kick() { [this]() -> sim::Coro { co_return; }(); }\n"},
+      {"dropped-awaitable",
+       "Awaitable discarded without co_await; the wait never happens",
+       "Calling an awaiter factory (sim::delay, Gate::wait, "
+       "Semaphore/CreditPool::acquire, Resource::use, Channel::transfer, "
+       "Queue::pop, or any function returning a *Awaiter/*Awaitable) as a "
+       "bare statement destroys the awaiter before it ever suspends: the "
+       "wait silently never happens and the coroutine runs ahead of the "
+       "model. Either co_await the call or bind the awaiter and co_await it "
+       "later. Bare calls of Coro-returning functions are not flagged — "
+       "sim::Coro is fire-and-forget by design.",
+       "src/sim/example.cpp",
+       "sim::Coro run(Gate* g) {\n  g->wait();\n  co_return;\n}\n"},
+      {"unit-mix",
+       "Additive arithmetic mixing Time with byte counts or bare literals",
+       "apn::Time is picoseconds. Adding or subtracting a byte count "
+       "(apn::Bytes, *_bytes locals) or a bare unscaled integer literal "
+       "produces a number that type-checks but is dimensionally wrong — the "
+       "classic source of on-by-one-unit calibration bugs. All constants "
+       "must enter time arithmetic through the units:: helpers "
+       "(units::ns(250), units::us(8)) so the scale is visible at the use "
+       "site. src/common/units.hpp, which defines the conversions, is "
+       "exempt.",
+       "src/sim/example.cpp",
+       "Time deadline(Time start) { return start + 512; }\n"},
+      {"check-coverage",
+       "Mutable state member of a race-checked class is not instrumented",
+       "A class that participates in same-tick race detection (it has a "
+       "StateCell member or an APN_CHECK_ACCESS-instrumented member) is "
+       "expected to instrument *all* of its mutable simulation state: an "
+       "uninstrumented integral or container member is a blind spot where a "
+       "real race would go unreported, making the detector's clean bill of "
+       "health misleading. Instrument the member, or carry an allow comment "
+       "explaining why it cannot race. Findings ratchet through the "
+       "coverage baseline so instrumentation only grows.",
+       "src/core/example.hpp",
+       "class Dev {\n"
+       "  APN_OWNER(torus_node)\n"
+       "  check::StateCell<int> credits_;\n"
+       "  std::uint64_t tail_ = 0;\n"
+       "};\n"},
+      {"hot-path-alloc",
+       "Heap allocation inside an APN_HOT function",
+       "Functions marked APN_HOT (common/hot.hpp) are on the event engine's "
+       "per-event path, which is allocation-free by contract: event nodes "
+       "come from pools, continuations use inline storage. A non-placement "
+       "new, malloc-family call or make_unique/make_shared inside one "
+       "introduces rate-dependent jitter and allocator-dependent layout. "
+       "Move the allocation to setup/cold code, or carry an explicit allow "
+       "comment for a genuinely cold fallback branch.",
+       "src/sim/example.hpp",
+       "APN_HOT void push() { int* p = new int(0); use(p); }\n"},
+      {"calibration-literal",
+       "Unnamed numeric calibration literal in model code; hoist it into "
+       "the hardware-profile parameter structs",
+       "Model code (src/core, src/pcie, src/gpu) may not bury raw numbers "
+       "in units helpers or Rate constructors — units::ns(400) inside a "
+       "function body is a calibration constant with no name, no "
+       "per-generation versioning and no documentation. Such constants "
+       "belong in the hardware-profile parameter structs (core/params.hpp, "
+       "gpu/arch.hpp, pcie/link.hpp), where src/hw/profile.cpp versions "
+       "them per hardware generation and docs/HARDWARE.md documents them. "
+       "Those three headers are exempt: they are where the named defaults "
+       "live.",
+       "src/core/example.cpp",
+       "Time guard() { return units::ns(400); }\n"},
+      {"partition-ownership",
+       "Partition-ownership violation: un-annotated sim state, a direct "
+       "cross-domain member reach without a Channel handoff, or an "
+       "APN_SHARED with no justification",
+       "The sharding-readiness analysis (ROADMAP item 1). Every class "
+       "holding race-checked simulation state must declare its partition "
+       "with APN_OWNER(domain); a method of one domain's class may not "
+       "directly touch a data member of a class owned by a different "
+       "domain — cross-partition interaction must go through a "
+       "sim::Channel (a send/recv/transfer in the same statement is the "
+       "sanctioned escape) or the member must be APN_SHARED with a "
+       "non-empty justification. Un-annotated classes ratchet through the "
+       "ownership baseline so coverage only grows.",
+       "src/core/example.hpp",
+       "class Dev {\n"
+       "  void bump() { APN_CHECK_ACCESS(tail_, w); }\n"
+       "  std::uint64_t tail_ = 0;\n"
+       "};\n"},
+      {"coro-ref-param",
+       "Reference parameter of a coroutine read after a suspension point",
+       "Between a co_await and its resume, the coroutine's caller has "
+       "returned: a parameter taken by reference points into a frame that "
+       "may no longer exist, so any read after the first suspension point "
+       "is a potential use-after-free. Only state owned by the coroutine "
+       "frame itself survives a suspension — take the parameter by value "
+       "(it is copied into the frame), or as a pointer, the repo's "
+       "sanctioned spelling for 'the caller guarantees this outlives the "
+       "frame'. Uses within the first suspension's own statement are not "
+       "flagged (the caller is still alive at the moment of suspend), and "
+       "tests/ are exempt — the runtime frame oracle (--coro-check) covers "
+       "them dynamically.",
+       "src/cluster/example.cpp",
+       "sim::Coro pump(sim::Gate& gate, sim::Queue<int>& out) {\n"
+       "  co_await gate.wait();\n"
+       "  out.push(1);\n"
+       "  co_return;\n"
+       "}\n"},
+      {"coro-local-escape",
+       "Address of a coroutine frame local escapes into a stored callable, "
+       "message, or spawned coroutine",
+       "A coroutine frame dies the moment its body completes or its owner "
+       "reclaims it, and between suspensions it can advance past a local's "
+       "scope. Passing &local to a scheduling or messaging sink "
+       "(Simulator::at/after, Channel::send, Resource::post, "
+       "schedule_resume/resume_*), capturing locals by reference in a "
+       "lambda handed to such a sink, or passing &local to another spawned "
+       "coroutine stores a pointer that outlives what it points at. Copy "
+       "the value into the callback/message, or hand over owner-managed "
+       "storage (shared_ptr, a member of a live object). Non-coroutine "
+       "functions are not flagged: an ordinary stack frame outlives the "
+       "statements it schedules from, because it only returns after "
+       "sim.run() style loops complete or the scheduled work is fetched.",
+       "src/cluster/example.cpp",
+       "sim::Coro sender(sim::Simulator* sim) {\n"
+       "  int pending = 0;\n"
+       "  sim->after(10, [&] { pending += 1; });\n"
+       "  co_await sim::delay(*sim, 100);\n"
+       "}\n"},
+      {"coro-stale-time",
+       "Cached now()/StateCell read from before a co_await reused after "
+       "resume",
+       "co_await means simulated time passes: any value cached from "
+       "Simulator::now() or from a StateCell read (get/sample/peek) before "
+       "the suspension describes a world that no longer exists after the "
+       "resume. Reusing the cached copy as 'the current time' or 'the "
+       "current cell state' silently computes with stale data. Re-read "
+       "after resuming. Statements that visibly re-read the source are "
+       "exempt — `Time dt = sim.now() - start;` is elapsed-time math over "
+       "an intentionally old timestamp, and a statement that re-touches "
+       "the same cell is treated as aware of the refresh.",
+       "src/cluster/example.cpp",
+       "sim::Coro worker(sim::Simulator* sim, sim::Gate* gate) {\n"
+       "  Time start = sim->now();\n"
+       "  co_await gate->wait();\n"
+       "  record(start);\n"
+       "  co_return;\n"
+       "}\n"},
+  };
+  return kRules;
+}
 
 std::string format_sarif(const std::vector<Finding>& findings) {
   std::string out;
@@ -1900,12 +2332,12 @@ std::string format_sarif(const std::vector<Finding>& findings) {
       "          \"informationUri\": \"tools/apn-lint/lint.hpp\",\n"
       "          \"rules\": [\n";
   bool first = true;
-  for (const RuleMeta& r : kRules) {
+  for (const RuleInfo& r : rules()) {
     if (!first) out += ",\n";
     first = false;
     out += std::string("            {\"id\": \"") + r.id +
            "\", \"shortDescription\": {\"text\": \"" +
-           json_escape(r.description) + "\"}}";
+           json_escape(r.summary) + "\"}}";
   }
   out +=
       "\n          ]\n"

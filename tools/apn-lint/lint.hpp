@@ -37,6 +37,33 @@
 //                       frame keeps running: captures dangle. The repo idiom
 //                       is an empty capture list with everything passed as
 //                       parameters (parameters are copied into the frame).
+//                       v4: detected from the IR (lambda scope + declared or
+//                       trailing return type), so template lambdas and
+//                       multi-line signatures are covered too.
+//  * coro-ref-param   — a coroutine takes a parameter by reference and reads
+//                       it after a suspension point. Between the first
+//                       co_await and resume the caller's frame may be gone;
+//                       only the coroutine's own frame (value parameters) is
+//                       guaranteed alive. Pointer parameters are the repo's
+//                       sanctioned spelling for caller-managed lifetime and
+//                       are not flagged. Uses inside the suspension's own
+//                       statement are fine (the caller is still live at the
+//                       moment of the first suspend).
+//  * coro-local-escape— inside a coroutine body, the address of a frame
+//                       local escapes into a scheduling/messaging sink
+//                       (Simulator::at/after, Channel::send, Resource::post,
+//                       schedule_resume/resume_at/resume_after), into a
+//                       by-reference lambda capture passed to such a sink,
+//                       or into another spawned coroutine. The stored
+//                       callable or spawned frame can run after this frame
+//                       advanced past the local's scope or died.
+//  * coro-stale-time  — a value cached from Simulator::now() or a StateCell
+//                       read (get/sample/peek) before a co_await is reused
+//                       after the resume. Simulated time and cell state
+//                       advance across suspensions; the cached copy is
+//                       stale. Statements that re-read the clock (elapsed-
+//                       time math `sim.now() - start`) or re-touch the same
+//                       cell are exempt.
 //  * dropped-awaitable— calling an awaiter factory (sim::delay, Gate::wait,
 //                       Semaphore/CreditPool::acquire, Resource::use,
 //                       Channel::transfer, Queue::pop, or any function whose
@@ -100,6 +127,11 @@
 // instrumentation coverage of the model classes can only grow;
 // partition-ownership findings likewise ratchet through
 // tools/apn-lint/ownership-baseline.txt so annotation coverage only grows.
+// The three coroutine suspension-safety rules (coro-ref-param,
+// coro-local-escape, coro-stale-time) ratchet through
+// tools/apn-lint/suspension-baseline.txt and skip tests/ paths — test code
+// parks frames and threads pointers on purpose, and the runtime frame
+// oracle (src/check/coro_check.hpp, --coro-check) covers it dynamically.
 #pragma once
 
 #include <cstddef>
@@ -146,9 +178,16 @@ struct FunctionIR {
   std::string decl_text;  ///< declaration text before the name (return type,
                           ///< specifiers; where APN_HOT lives)
   bool hot = false;       ///< APN_HOT marker present in decl_text
+  bool is_lambda = false;      ///< body belongs to a lambda expression
+  bool returns_coro = false;   ///< declared/trailing return type names Coro
   int line = 0;
   std::size_t body_begin = 0;  ///< offset of '{'
   std::size_t body_end = 0;    ///< offset of matching '}'
+  /// Lambda capture-list brackets ('[' and ']' offsets); npos when not a
+  /// lambda or the capture list could not be located.
+  std::size_t cap_open = static_cast<std::size_t>(-1);
+  std::size_t cap_close = static_cast<std::size_t>(-1);
+  std::vector<Decl> params;    ///< parameter declarations only
   std::vector<Decl> locals;    ///< parameter + local variable declarations
   std::vector<Call> calls;
   std::vector<std::size_t> co_awaits;  ///< offsets of co_await tokens
@@ -242,6 +281,14 @@ struct ProjectContext {
   /// type text. Lets the ownership rule resolve `obj->field` accesses and
   /// member-variable types across translation units.
   std::map<std::string, std::map<std::string, std::string>> class_fields;
+  /// Named functions whose return type is a coroutine (sim::Coro). Their
+  /// call sites spawn detached frames, so coro-local-escape treats an
+  /// address-of-local argument as an escape.
+  std::set<std::string> coro_fns;
+  /// Member names declared with a StateCell type anywhere in the project.
+  /// coro-stale-time treats get()/sample()/peek() on these as time-like
+  /// reads that go stale across a suspension.
+  std::set<std::string> statecell_members;
 };
 
 /// Phase 1: harvest declarations from one file into `ctx`.
@@ -293,6 +340,26 @@ std::string format_baseline(const std::vector<Finding>& findings);
 std::vector<Finding> apply_baseline(const std::vector<Finding>& findings,
                                     const Baseline& baseline,
                                     std::vector<std::string>* stale);
+
+// ---------------------------------------------------------------------------
+// Rule registry
+// ---------------------------------------------------------------------------
+
+/// One registered rule: identity, the one-liner used in SARIF metadata, the
+/// paragraph shown by `apn-lint --explain=<rule>`, and a minimal source
+/// example (linted under `example_path` for the directory-scoped rules)
+/// that demonstrably fires the rule — test_lint.cpp asserts this for every
+/// entry, so the docs cannot rot.
+struct RuleInfo {
+  const char* id;
+  const char* summary;       ///< one line (SARIF shortDescription)
+  const char* doc;           ///< one paragraph (--explain)
+  const char* example_path;  ///< synthetic path the example is linted under
+  const char* example;       ///< source that fires exactly this rule
+};
+
+/// Every registered rule, in catalogue order.
+const std::vector<RuleInfo>& rules();
 
 // ---------------------------------------------------------------------------
 // SARIF 2.1.0 output (for GitHub code scanning upload)

@@ -2,8 +2,9 @@
 //
 // Usage:
 //   apn-lint [--baseline=FILE] [--coverage-baseline=FILE]
-//            [--ownership-baseline=FILE] [--update-baseline]
-//            [--sarif=FILE] [--jobs=N] <path>...
+//            [--ownership-baseline=FILE] [--suspension-baseline=FILE]
+//            [--update-baseline] [--sarif=FILE] [--jobs=N]
+//            [--explain=RULE] <path>...
 //
 // Paths may be files or directories (directories are walked recursively for
 // C/C++ sources). The whole tree is parsed first (phase 1: declaration
@@ -12,18 +13,22 @@
 // hardware concurrency); findings are committed in path order, so the
 // output is byte-identical for every job count.
 //
-// check-coverage findings ratchet through --coverage-baseline and
-// partition-ownership findings through --ownership-baseline; every other
-// rule ratchets through --baseline. --update-baseline rewrites whichever of
-// the named files from the current findings. --sarif writes a SARIF 2.1.0
-// log of the post-baseline findings (written even when clean, so CI can
-// upload unconditionally).
+// check-coverage findings ratchet through --coverage-baseline,
+// partition-ownership findings through --ownership-baseline and the
+// coroutine suspension-safety rules (coro-ref-param, coro-local-escape,
+// coro-stale-time) through --suspension-baseline; every other rule
+// ratchets through --baseline. --update-baseline rewrites whichever of the
+// named files from the current findings. --sarif writes a SARIF 2.1.0 log
+// of the post-baseline findings (written even when clean, so CI can upload
+// unconditionally). --explain=RULE prints the rule's documentation
+// paragraph plus a minimal firing example and its diagnostic, then exits.
 //
 // Exit codes: 0 clean (stale baseline entries only warn), 1 findings not
 // covered by a baseline, 2 usage or I/O error.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -72,6 +77,38 @@ bool write_text(const std::string& path, const std::string& body) {
 
 bool is_coverage(const Finding& f) { return f.rule == "check-coverage"; }
 bool is_ownership(const Finding& f) { return f.rule == "partition-ownership"; }
+bool is_suspension(const Finding& f) {
+  return f.rule == "coro-ref-param" || f.rule == "coro-local-escape" ||
+         f.rule == "coro-stale-time";
+}
+
+/// --explain=RULE: print the registered doc paragraph, the firing example
+/// and the diagnostic it produces. Returns the process exit code.
+int explain_rule(const std::string& id) {
+  for (const apn::lint::RuleInfo& r : apn::lint::rules()) {
+    if (id != r.id) continue;
+    std::printf("%s — %s\n\n%s\n\nExample (%s):\n", r.id, r.summary, r.doc,
+                r.example_path);
+    for (const char* p = r.example; *p != '\0';) {
+      const char* nl = std::strchr(p, '\n');
+      const std::size_t len = nl != nullptr ? static_cast<std::size_t>(nl - p)
+                                            : std::strlen(p);
+      std::printf("    %.*s\n", static_cast<int>(len), p);
+      p += len + (nl != nullptr ? 1 : 0);
+    }
+    std::printf("\nDiagnostic:\n");
+    for (const Finding& f : apn::lint::lint_source(r.example_path, r.example))
+      if (f.rule == id)
+        std::printf("    %s:%d: [%s] %s\n", f.path.c_str(), f.line,
+                    f.rule.c_str(), f.detail.c_str());
+    return 0;
+  }
+  std::fprintf(stderr, "apn-lint: unknown rule '%s'; registered rules:\n",
+               id.c_str());
+  for (const apn::lint::RuleInfo& r : apn::lint::rules())
+    std::fprintf(stderr, "  %s\n", r.id);
+  return 2;
+}
 
 }  // namespace
 
@@ -79,6 +116,7 @@ int main(int argc, char** argv) {
   std::string baseline_path;
   std::string coverage_path;
   std::string ownership_path;
+  std::string suspension_path;
   std::string sarif_path;
   bool update_baseline = false;
   int jobs = 0;  // 0 = hardware concurrency
@@ -91,6 +129,11 @@ int main(int argc, char** argv) {
       coverage_path = arg.substr(std::string("--coverage-baseline=").size());
     } else if (arg.rfind("--ownership-baseline=", 0) == 0) {
       ownership_path = arg.substr(std::string("--ownership-baseline=").size());
+    } else if (arg.rfind("--suspension-baseline=", 0) == 0) {
+      suspension_path =
+          arg.substr(std::string("--suspension-baseline=").size());
+    } else if (arg.rfind("--explain=", 0) == 0) {
+      return explain_rule(arg.substr(std::string("--explain=").size()));
     } else if (arg.rfind("--sarif=", 0) == 0) {
       sarif_path = arg.substr(std::string("--sarif=").size());
     } else if (arg.rfind("--jobs=", 0) == 0) {
@@ -111,15 +154,17 @@ int main(int argc, char** argv) {
   if (roots.empty()) {
     std::fprintf(stderr,
                  "usage: apn-lint [--baseline=FILE] [--coverage-baseline=FILE] "
-                 "[--ownership-baseline=FILE] [--update-baseline] "
-                 "[--sarif=FILE] [--jobs=N] <path>...\n");
+                 "[--ownership-baseline=FILE] [--suspension-baseline=FILE] "
+                 "[--update-baseline] [--sarif=FILE] [--jobs=N] "
+                 "[--explain=RULE] <path>...\n");
     return 2;
   }
   if (update_baseline && baseline_path.empty() && coverage_path.empty() &&
-      ownership_path.empty()) {
+      ownership_path.empty() && suspension_path.empty()) {
     std::fprintf(stderr,
                  "apn-lint: --update-baseline needs --baseline= and/or "
-                 "--coverage-baseline= and/or --ownership-baseline=\n");
+                 "--coverage-baseline= and/or --ownership-baseline= and/or "
+                 "--suspension-baseline=\n");
     return 2;
   }
 
@@ -141,10 +186,11 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::vector<Finding> general, coverage, ownership;
+  std::vector<Finding> general, coverage, ownership, suspension;
   for (const Finding& f : findings) {
     if (is_coverage(f)) coverage.push_back(f);
     else if (is_ownership(f)) ownership.push_back(f);
+    else if (is_suspension(f)) suspension.push_back(f);
     else general.push_back(f);
   }
 
@@ -158,6 +204,7 @@ int main(int argc, char** argv) {
         {"baseline", &baseline_path, &general},
         {"coverage baseline", &coverage_path, &coverage},
         {"ownership baseline", &ownership_path, &ownership},
+        {"suspension baseline", &suspension_path, &suspension},
     };
     for (const Target& tgt : targets) {
       if (tgt.path->empty()) continue;
@@ -171,7 +218,7 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  apn::lint::Baseline baseline, cov_baseline, own_baseline;
+  apn::lint::Baseline baseline, cov_baseline, own_baseline, susp_baseline;
   if (!baseline_path.empty() && !load_baseline(baseline_path, baseline)) {
     std::fprintf(stderr, "apn-lint: cannot read baseline %s\n",
                  baseline_path.c_str());
@@ -187,6 +234,12 @@ int main(int argc, char** argv) {
                  ownership_path.c_str());
     return 2;
   }
+  if (!suspension_path.empty() &&
+      !load_baseline(suspension_path, susp_baseline)) {
+    std::fprintf(stderr, "apn-lint: cannot read suspension baseline %s\n",
+                 suspension_path.c_str());
+    return 2;
+  }
 
   std::vector<std::string> stale;
   std::vector<Finding> fresh =
@@ -195,8 +248,11 @@ int main(int argc, char** argv) {
       apn::lint::apply_baseline(coverage, cov_baseline, &stale);
   std::vector<Finding> fresh_own =
       apn::lint::apply_baseline(ownership, own_baseline, &stale);
+  std::vector<Finding> fresh_susp =
+      apn::lint::apply_baseline(suspension, susp_baseline, &stale);
   fresh.insert(fresh.end(), fresh_cov.begin(), fresh_cov.end());
   fresh.insert(fresh.end(), fresh_own.begin(), fresh_own.end());
+  fresh.insert(fresh.end(), fresh_susp.begin(), fresh_susp.end());
   std::sort(fresh.begin(), fresh.end(),
             [](const Finding& a, const Finding& b) {
               return std::tie(a.path, a.line, a.rule, a.col) <
